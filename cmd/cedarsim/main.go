@@ -1,0 +1,86 @@
+// Command cedarsim runs a computational kernel on a configurable
+// simulated Cedar and reports the paper's performance metrics.
+//
+//	cedarsim -kernel rk -mode cache -clusters 4 -n 256
+//	cedarsim -kernel cg -clusters 2 -n 8192 -iters 5
+//	cedarsim -kernel vl -clusters 1 -n 8192 -noprefetch
+//	cedarsim -kernel tm -clusters 4 -n 4096 -probe
+//
+// Kernels: rk (rank-64 update), vl (vector load), tm (tridiagonal
+// matrix-vector multiply), cg (conjugate gradient). Modes apply to rk:
+// nopref, pref, cache (Table 1's three versions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func main() {
+	kernel := flag.String("kernel", "rk", "kernel: rk, vl, tm, cg")
+	mode := flag.String("mode", "pref", "rk memory mode: nopref, pref, cache")
+	clusters := flag.Int("clusters", 4, "clusters (1..4; 8 CEs each)")
+	n := flag.Int("n", 256, "problem size (matrix order for rk, vector length otherwise)")
+	iters := flag.Int("iters", 5, "CG iterations")
+	noPrefetch := flag.Bool("noprefetch", false, "disable prefetching (vl, tm, cg)")
+	probe := flag.Bool("probe", true, "attach the performance monitor to CE 0's prefetch unit")
+	flag.Parse()
+
+	m, err := core.New(core.ConfigClusters(*clusters))
+	if err != nil {
+		fail(err)
+	}
+	usePrefetch := !*noPrefetch
+
+	var res kernels.Result
+	switch *kernel {
+	case "rk":
+		var km kernels.Mode
+		switch *mode {
+		case "nopref":
+			km = kernels.GMNoPrefetch
+		case "pref":
+			km = kernels.GMPrefetch
+		case "cache":
+			km = kernels.GMCache
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		in := kernels.NewRank64Input(*n)
+		res, err = kernels.Rank64(m, in, km, *probe)
+	case "vl":
+		res, err = kernels.VectorLoad(m, *n, usePrefetch, *probe)
+	case "tm":
+		res, err = kernels.TriMatVec(m, *n, usePrefetch, *probe)
+	case "cg":
+		rt := cedarfort.New(m, cedarfort.DefaultConfig())
+		p := kernels.NewCGProblem(*n, 64)
+		var cg kernels.CGResult
+		cg, err = kernels.CG(m, rt, p, *iters, usePrefetch, *probe)
+		if err == nil {
+			fmt.Printf("residual after %d iterations: %.3e\n", cg.Iterations, cg.FinalResidual)
+		}
+		res = cg.Result
+	default:
+		fail(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("simulated time: %.3f ms (%d cycles at 170 ns)\n",
+		res.Cycles.Seconds()*1e3, res.Cycles)
+	fmt.Printf("network: fwd injected=%d delivered=%d; rev injected=%d delivered=%d\n",
+		m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
+	fmt.Print(m.Utilization())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cedarsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command perfect evaluates the calibrated Perfect Benchmarks models:
+// the full Table 3 and Table 4, a single code in detail, or the suite
+// under modified machine rates (for what-if studies such as "how would
+// the results change with a 2x faster global network?").
+//
+//	perfect                       # Tables 3 and 4
+//	perfect -code DYFESM          # one code, all variants
+//	perfect -prefrate 12          # what-if: faster prefetched rate
+//	perfect -claimslow 60e-6      # what-if: costlier non-Cedar claims
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfect"
+	"repro/internal/report"
+	"repro/internal/tables"
+)
+
+func main() {
+	code := flag.String("code", "", "show one code in detail")
+	prefRate := flag.Float64("prefrate", 0, "override prefetched global vector MFLOPS/CE")
+	localRate := flag.Float64("localrate", 0, "override cluster-local vector MFLOPS/CE")
+	claimSlow := flag.Float64("claimslow", 0, "override non-Cedar-sync claim seconds")
+	flag.Parse()
+
+	r := perfect.DefaultRates()
+	if *prefRate > 0 {
+		r.VectorGlobalPref = *prefRate
+	}
+	if *localRate > 0 {
+		r.VectorLocal = *localRate
+	}
+	if *claimSlow > 0 {
+		r.ClaimSlowSeconds = *claimSlow
+	}
+
+	if *code != "" {
+		showCode(*code, r)
+		return
+	}
+	t3, err := tables.RunTable3(r)
+	if err != nil {
+		fail(err)
+	}
+	if err := t3.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	t4, err := tables.RunTable4(r)
+	if err != nil {
+		fail(err)
+	}
+	if err := t4.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func showCode(name string, r perfect.Rates) {
+	suite, err := perfect.NewSuite(r)
+	if err != nil {
+		fail(err)
+	}
+	p := perfect.ByName(suite, name)
+	if p == nil {
+		fail(fmt.Errorf("unknown code %q", name))
+	}
+	fmt.Printf("%s: serial %.1f s, %.0f Mflop (%.2f MFLOPS scalar)\n",
+		p.Name, p.SerialSeconds, p.Mflop, p.ScalarMFLOPS)
+	fmt.Printf("decomposition: serial residual %.1f%%, prefetch-sensitive %.0f Mflop, %.0f claims, P_eff %.0f\n\n",
+		p.SerialFrac*100, p.GlobalVectorMflop, p.Claims, p.EffParallelism)
+	t := report.NewTable("variants", "variant", "time (s)", "improvement")
+	for _, v := range []perfect.Variant{perfect.Serial, perfect.KAP, perfect.Auto,
+		perfect.AutoNoSync, perfect.AutoNoPref, perfect.Hand} {
+		sec, err := p.Time(v, r)
+		if errors.Is(err, perfect.ErrNoVariant) {
+			t.AddRow(v.String(), "NA", "")
+			continue
+		}
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(v.String(), report.F(sec), report.F(p.SerialSeconds/sec))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	for i := range p.Hands {
+		h := &p.Hands[i]
+		fmt.Printf("hand variant %-16s modeled %6.1f s (paper %6.1f s): %s\n",
+			h.Name, p.HandTime(h, r), h.TargetSeconds, h.Description)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "perfect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section. With no flags it produces them all; individual
+// exhibits can be selected.
+//
+//	tables -table 1        # Table 1 only
+//	tables -fig 3          # Figure 3
+//	tables -scal           # the Section 4.3 scalability study
+//	tables -n 512          # larger rank-64 problem for Table 1
+//	tables -quick          # reduced problem sizes everywhere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/perfect"
+	"repro/internal/tables"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1..6); 0 = all")
+	fig := flag.Int("fig", 0, "regenerate one figure (3); 0 = per -table selection")
+	scal := flag.Bool("scal", false, "regenerate only the scalability study")
+	ppt5 := flag.Bool("ppt5", false, "run the scaled-machine PPT5 study (extension)")
+	sizes := flag.Bool("sizes", false, "run the data-size stability study (extension)")
+	n := flag.Int("n", 256, "rank-64 matrix order for Table 1 (paper: 1024)")
+	scale := flag.Int("scale", 1, "problem-size multiplier for Table 2")
+	quick := flag.Bool("quick", false, "reduced sizes for a fast pass")
+	flag.Parse()
+
+	if *quick {
+		*n = 64
+	}
+	w := os.Stdout
+	all := *table == 0 && *fig == 0 && !*scal && !*ppt5 && !*sizes
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if all || *table == 1 {
+		d, err := tables.RunTable1(*n)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *table == 2 {
+		d, err := tables.RunTable2(*scale)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *table == 3 {
+		d, err := tables.RunTable3(perfect.Rates{})
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *table == 4 {
+		d, err := tables.RunTable4(perfect.Rates{})
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *table == 5 {
+		if err := tables.RunTable5().Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *table == 6 {
+		if err := tables.RunTable6().Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if *fig == 1 || *fig == 2 {
+		m, err := core.New(core.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w, "Figures 1 and 2: the Cedar and cluster organization (rendered from the assembled machine)")
+		fmt.Fprintln(w, m.Topology())
+	}
+	if all || *fig == 3 {
+		if err := tables.RunFigure3().Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *scal {
+		d, err := tables.RunScalability(*quick)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *ppt5 {
+		d, err := tables.RunPPT5(*quick)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+	if all || *sizes {
+		d, err := tables.RunSizeStability(perfect.Rates{})
+		if err != nil {
+			fail(err)
+		}
+		if err := d.Render(w); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a Go reproduction of "The Cedar System and an Initial
+// Performance Study" (Kuck et al., CSRD, University of Illinois): a
+// cycle-approximate simulator of the Cedar cluster-based shared-memory
+// multiprocessor, a CEDAR FORTRAN-style runtime, the paper's
+// computational kernels and Perfect Benchmark workload models, the
+// comparator machine models, and the Practical Parallelism methodology —
+// regenerating every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// hardware-to-simulation substitutions, and EXPERIMENTS.md for
+// paper-versus-measured results. The benchmark harness in bench_test.go
+// regenerates each exhibit:
+//
+//	go test -bench=Table1 -benchtime=1x
+//	go run ./cmd/tables            # everything at once
+package repro

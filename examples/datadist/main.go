@@ -1,0 +1,93 @@
+// Datadist: data distribution with SDOALL affinity (Section 3.2).
+//
+// CEDAR FORTRAN localizes data by partitioning and distributing it to
+// the cluster memories; subsequent loops then operate on those data by
+// distributing iterations to clusters according to the partitions —
+// scheduling iterations of successive SDOALLs on the same clusters.
+// This example distributes a matrix's row blocks to the two clusters
+// with explicit moves, then runs two successive affinity-scheduled
+// SDOALLs whose inner CDOALLs read only cluster-local data, and
+// compares against the same computation done directly on global memory.
+//
+//	go run ./examples/datadist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+const (
+	rows  = 64
+	width = 512 // words per row
+)
+
+// run executes two passes of row-wise work. With distribute=true the
+// rows are first moved into cluster memory and both passes read locally;
+// otherwise both passes stream from global memory per iteration.
+func run(distribute bool) sim.Cycle {
+	m, err := core.New(core.ConfigClusters(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := cedarfort.New(m, cedarfort.DefaultConfig())
+	gBase := rt.Global(rows * width)
+
+	// Partition: rows alternate between clusters (matching the affinity
+	// schedule's iter % clusters assignment).
+	local := make([]isa.Addr, rows)
+	if distribute {
+		for i := 0; i < rows; i++ {
+			local[i] = rt.ClusterLocal(i%2, width)
+		}
+		// Distribute: each cluster's leader moves its rows in.
+		if _, err := rt.SDOALL(rows, true, func(ctx *cedarfort.Ctx, row int) {
+			src := isa.Addr{Space: isa.Global, Word: gBase.Word + uint64(row*width)}
+			ctx.Emit(cedarfort.MoveOps(local[row], src, width, nil)...)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var total sim.Cycle
+	for pass := 0; pass < 2; pass++ {
+		elapsed, err := rt.SDOALL(rows, true, func(ctx *cedarfort.Ctx, row int) {
+			ctx.CDOALL(width/32, cedarfort.SelfScheduled, func(ictx *cedarfort.Ctx, strip int) {
+				if distribute {
+					addr := isa.Addr{Space: isa.Cluster, Word: local[row].Word + uint64(strip*32)}
+					ictx.Emit(isa.NewVectorLoad(addr, 32, 1, 2, false))
+				} else {
+					addr := isa.Addr{Space: isa.Global, Word: gBase.Word + uint64(row*width+strip*32)}
+					ictx.Emit(
+						isa.NewPrefetch(addr, 32, 1),
+						isa.NewVectorLoad(addr, 32, 1, 2, true),
+					)
+				}
+			})
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += elapsed
+	}
+	return total
+}
+
+func main() {
+	global := run(false)
+	dist := run(true)
+	fmt.Printf("two passes over %d rows x %d words on 2 clusters:\n", rows, width)
+	fmt.Printf("  from global memory every pass:  %7d cycles (%.2f ms)\n", global, global.Seconds()*1e3)
+	fmt.Printf("  distributed to cluster memory:  %7d cycles (%.2f ms, excluding the one-time move)\n",
+		dist, dist.Seconds()*1e3)
+	fmt.Printf("  benefit: %.2fx on the compute passes\n", float64(global)/float64(dist))
+	fmt.Println()
+	fmt.Println("(the affinity schedule keeps iteration i on cluster i mod 2 across")
+	fmt.Println(" successive SDOALLs, so the distributed rows stay local — the")
+	fmt.Println(" mechanism CEDAR FORTRAN uses for data localization)")
+}

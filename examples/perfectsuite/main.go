@@ -1,0 +1,69 @@
+// Perfectsuite: drive the Perfect Benchmarks models and judge the
+// machine by the paper's methodology.
+//
+// The example regenerates the Table 3 results, then applies the
+// Practical Parallelism Tests: PPT1 (delivered performance), PPT2
+// (stability), and PPT3 (restructuring efficiency), across Cedar, the
+// Cray YMP-8 and the Cray-1.
+//
+//	go run ./examples/perfectsuite
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/compare"
+	"repro/internal/methodology"
+	"repro/internal/perfect"
+	"repro/internal/tables"
+)
+
+func main() {
+	d, err := tables.RunTable3(perfect.Rates{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	ds := compare.Dataset()
+
+	// PPT1: delivered performance on the manually optimized codes.
+	var cedarPts, ympPts []methodology.Point
+	for _, c := range ds {
+		cedarPts = append(cedarPts, methodology.Point{Name: c.Name, Efficiency: c.CedarManualEff})
+		ympPts = append(ympPts, methodology.Point{Name: c.Name, Efficiency: c.YMPManualEff})
+	}
+	p1c := methodology.PPT1(cedarPts, 32)
+	p1y := methodology.PPT1(ympPts, 8)
+	fmt.Printf("PPT1 delivered performance: Cedar %dH/%dI/%dU pass=%v; YMP %dH/%dI/%dU pass=%v\n",
+		p1c.High, p1c.Intermediate, p1c.Unacceptable, p1c.Pass,
+		p1y.High, p1y.Intermediate, p1y.Unacceptable, p1y.Pass)
+
+	// PPT2: stability of the rate ensembles.
+	for _, mc := range []struct {
+		name  string
+		rates []float64
+	}{
+		{"Cedar", compare.CedarRates(ds)},
+		{"Cray YMP-8", compare.YMPRates(ds)},
+		{"Cray-1", compare.Cray1Rates(ds)},
+	} {
+		rep := methodology.PPT2(mc.rates, compare.WorkstationInstability)
+		fmt.Printf("PPT2 stability %-12s In(13,0)=%6.1f In(13,2)=%5.1f exceptions=%d pass=%v\n",
+			mc.name, rep.In0, rep.In2, rep.ExceptionsNeeded, rep.Pass)
+	}
+
+	// PPT3: what automatic/automatable restructuring achieves.
+	t6 := tables.RunTable6()
+	fmt.Printf("PPT3 restructuring: Cedar %dH/%dI/%dU nearly-acceptable=%v; YMP %dH/%dI/%dU nearly-acceptable=%v\n",
+		t6.Cedar.High, t6.Cedar.Intermediate, t6.Cedar.Unacceptable, t6.Cedar.NearlyAcceptable,
+		t6.YMP.High, t6.YMP.Intermediate, t6.YMP.Unacceptable, t6.YMP.NearlyAcceptable)
+
+	fmt.Println("\n(the paper's conclusions: both machines pass PPT1; Cedar and the Cray-1")
+	fmt.Println(" pass PPT2 with few exceptions while the YMP needs six; PPT3 can be")
+	fmt.Println(" expected to pass in the near future as restructurers improve)")
+}

@@ -1,0 +1,58 @@
+// Rank64: the paper's Section 4.1 memory-placement study, as a program.
+//
+// The same rank-64 matrix update runs three ways — global memory without
+// prefetch, with prefetch, and blocked through the cluster caches — on a
+// two-cluster Cedar, with the hardware performance monitor attached to
+// one CE's prefetch unit. The point of the exercise is the paper's: the
+// differences are solely due to the memory system.
+//
+//	go run ./examples/rank64
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func main() {
+	const n = 128
+	fmt.Printf("rank-64 update of a %dx%d matrix on 2 clusters (16 CEs)\n\n", n, n)
+
+	var first []float64
+	for _, mode := range []kernels.Mode{kernels.GMNoPrefetch, kernels.GMPrefetch, kernels.GMCache} {
+		in := kernels.NewRank64Input(n)
+		m, err := core.New(core.ConfigClusters(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := kernels.Rank64(m, in, mode, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %7.1f MFLOPS  %9d cycles", mode, res.MFLOPS, res.Cycles)
+		if !math.IsNaN(res.Latency) {
+			fmt.Printf("  (prefetch: %.1f-cycle latency, %.2f-cycle interarrival)",
+				res.Latency, res.Interarrival)
+		}
+		fmt.Println()
+
+		// Every version computes the same real product.
+		if first == nil {
+			first = append([]float64(nil), in.C...)
+		} else {
+			for i := range first {
+				if math.Abs(first[i]-in.C[i]) > 1e-9 {
+					log.Fatalf("mode %v computed different results at %d", mode, i)
+				}
+			}
+		}
+	}
+
+	fmt.Println("\nverification: all three versions produced identical results")
+	fmt.Println("(compare with Table 1: prefetch masks the 13-cycle global latency;")
+	fmt.Println(" the cluster caches approach the machine's effective peak)")
+}

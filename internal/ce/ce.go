@@ -1,0 +1,457 @@
+// Package ce models the Alliant FX/8 computational element (CE): a
+// pipelined scalar processor with a vector unit, as configured in Cedar.
+//
+// The model captures the properties the paper's measurements hinge on:
+//
+//   - a 170 ns instruction cycle (the simulation's base clock);
+//   - vector instructions in register-memory format with one memory
+//     operand stream, consuming or producing up to one 64-bit word per
+//     cycle with chained arithmetic — at 2 chained flops per element this
+//     yields the CE's 11.8 MFLOPS peak;
+//   - vector startup cost, which reduces the 376 MFLOPS absolute machine
+//     peak to the paper's 274 MFLOPS effective peak for 32-word strips;
+//   - a limit of two outstanding memory requests per CE (the property
+//     that caps non-prefetched global access at 2 words per 13 cycles,
+//     Table 1's GM/no-pref row);
+//   - posted writes (writes do not stall a CE);
+//   - access to the per-CE prefetch unit and to the global
+//     synchronization instructions.
+package ce
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/network"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// Config holds the CE timing parameters.
+type Config struct {
+	// VectorStartup is the pipeline fill cost charged at the beginning
+	// of every vector operation (default 12 cycles: with 32-word strips
+	// this gives 32/(32+12) = 73% of absolute peak, the paper's 274 of
+	// 376 MFLOPS effective peak).
+	VectorStartup sim.Cycle
+	// XferCycles is the CE-side transfer time between the network or
+	// prefetch buffer and the vector unit (default 5: together with the
+	// 8-cycle network+memory minimum it forms the paper's 13-cycle
+	// effective global latency).
+	XferCycles sim.Cycle
+	// MaxOutstanding is the lockup-free miss limit (default 2).
+	MaxOutstanding int
+	// SyncExtra is the CE-side cost of initiating a memory-mapped
+	// synchronization instruction beyond the network round trip
+	// (default 2 cycles).
+	SyncExtra sim.Cycle
+}
+
+// DefaultConfig returns the as-built CE parameters.
+func DefaultConfig() Config {
+	return Config{VectorStartup: 12, XferCycles: 5, MaxOutstanding: 2, SyncExtra: 2}
+}
+
+// tagBase namespaces direct CE request tags above the prefetch unit's
+// buffer-slot tags (0..511).
+const tagBase uint64 = 1 << 20
+
+// inflightReq is one outstanding memory element in a vector stream or a
+// scalar access, consumed in issue order.
+type inflightReq struct {
+	tag      uint64
+	arrived  bool
+	usableAt sim.Cycle
+}
+
+// CE is one computational element. It is a sim.Component; replies from
+// the reverse network reach it through Deliver.
+type CE struct {
+	cfg Config
+
+	// ID is the machine-wide CE index; Port its network port; Local its
+	// index within the cluster (cache port).
+	ID    int
+	Port  int
+	Local int
+
+	fwd   *network.Network
+	cache *cache.Cache
+	pfu   *prefetch.PFU
+	route func(addr uint64) int
+
+	prog isa.Program
+	cur  *isa.Op
+
+	// Generic op state.
+	finishAt sim.Cycle
+
+	// Vector state.
+	vIssued    int
+	vDone      int
+	startupEnd sim.Cycle
+	inflight   []inflightReq
+	nextTag    uint64
+
+	// Scalar/sync reply state.
+	waitTag      uint64
+	replyArrived bool
+	replyUsable  sim.Cycle
+	replyV       int64
+	replyOK      bool
+
+	// Counters.
+	Flops       int64
+	OpsDone     int64
+	StallMem    int64 // cycles waiting on data
+	StallNet    int64 // cycles the network refused an injection
+	IdleCycles  int64
+	FinishedAt  sim.Cycle
+	everStarted bool
+}
+
+// New builds a CE. route maps a global word address to its forward-network
+// port (the memory interleaving function).
+func New(cfg Config, id, port, local int, fwd *network.Network, ch *cache.Cache, u *prefetch.PFU, route func(addr uint64) int) *CE {
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 2
+	}
+	return &CE{
+		cfg:     cfg,
+		ID:      id,
+		Port:    port,
+		Local:   local,
+		fwd:     fwd,
+		cache:   ch,
+		pfu:     u,
+		route:   route,
+		nextTag: tagBase,
+	}
+}
+
+// PFU returns the CE's prefetch unit.
+func (c *CE) PFU() *prefetch.PFU { return c.pfu }
+
+// SetProgram assigns a program; the CE begins executing it on its next
+// tick. Assigning over a running program panics — the concurrency
+// control layer must only dispatch to idle CEs.
+func (c *CE) SetProgram(p isa.Program) {
+	if c.prog != nil || c.cur != nil {
+		panic(fmt.Sprintf("ce %d: SetProgram while busy", c.ID))
+	}
+	c.prog = p
+	c.everStarted = true
+}
+
+// ForceProgram replaces the CE's program between operations, discarding
+// any unexecuted remainder. This is the concurrent-start semantics: the
+// broadcast program counter ends the initiating CE's current stream. It
+// panics if an operation is still in flight.
+func (c *CE) ForceProgram(p isa.Program) {
+	if c.cur != nil {
+		panic(fmt.Sprintf("ce %d: ForceProgram with an operation in flight", c.ID))
+	}
+	c.prog = p
+	c.everStarted = true
+}
+
+// Idle reports whether the CE has no program and no operation in flight.
+func (c *CE) Idle() bool { return c.prog == nil && c.cur == nil }
+
+// Deliver accepts a reverse-network packet for this CE's port,
+// dispatching prefetch-buffer fills to the PFU.
+func (c *CE) Deliver(now sim.Cycle, p *network.Packet) bool {
+	if p.Tag < prefetch.BufferWords {
+		if c.pfu == nil {
+			panic(fmt.Sprintf("ce %d: prefetch reply without a PFU", c.ID))
+		}
+		return c.pfu.Deliver(now, p)
+	}
+	usable := now + c.cfg.XferCycles
+	if p.Tag == c.waitTag && c.waitTag != 0 {
+		c.replyArrived = true
+		c.replyUsable = usable
+		c.replyV = int64(p.Value)
+		c.replyOK = p.OK
+		return true
+	}
+	for i := range c.inflight {
+		if c.inflight[i].tag == p.Tag {
+			c.inflight[i].arrived = true
+			c.inflight[i].usableAt = usable
+			return true
+		}
+	}
+	panic(fmt.Sprintf("ce %d: unmatched reply tag %d", c.ID, p.Tag))
+}
+
+// Tick advances the CE one cycle.
+func (c *CE) Tick(now sim.Cycle) {
+	if c.cur == nil {
+		if c.prog == nil {
+			c.IdleCycles++
+			return
+		}
+		p := c.prog
+		op := p.Next()
+		if op == nil {
+			// A completion callback inside Next (for example a join that
+			// dispatches the continuation) may have force-assigned a new
+			// program; only clear the slot if it is still the one that
+			// ended.
+			if c.prog == p {
+				c.prog = nil
+			}
+			c.FinishedAt = now
+			c.IdleCycles++
+			return
+		}
+		c.start(op, now)
+		return
+	}
+	switch c.cur.Kind {
+	case isa.Compute:
+		if now >= c.finishAt {
+			c.complete(now, 0, true)
+		}
+	case isa.Vector:
+		c.tickVector(now)
+	case isa.Scalar:
+		c.tickScalar(now)
+	case isa.Sync:
+		c.tickSync(now)
+	case isa.Prefetch:
+		// Completed the cycle after firing.
+		c.complete(now, 0, true)
+	}
+}
+
+// start initializes per-op state. The op begins occupying the CE this
+// cycle and makes progress from the next tick.
+func (c *CE) start(op *isa.Op, now sim.Cycle) {
+	c.cur = op
+	c.vIssued, c.vDone = 0, 0
+	c.inflight = c.inflight[:0]
+	c.replyArrived = false
+	c.waitTag = 0
+	switch op.Kind {
+	case isa.Compute:
+		c.finishAt = now + op.Cycles
+	case isa.Vector:
+		// Buffer-to-register transfer pipelines within the startup, so
+		// prefetched and direct vector operations charge the same fill.
+		c.startupEnd = now + c.cfg.VectorStartup
+	case isa.Prefetch:
+		c.pfu.ArmMasked(op.PFN, op.PFStride, op.PFMask)
+		c.pfu.Fire(op.PFBase.Word)
+	case isa.Scalar:
+		c.startScalar(op, now)
+	case isa.Sync:
+		c.startSync(op, now)
+	}
+}
+
+// complete finishes the current op: functional payload, callbacks, stats.
+func (c *CE) complete(now sim.Cycle, v int64, ok bool) {
+	op := c.cur
+	c.cur = nil
+	c.OpsDone++
+	if op.Do != nil {
+		op.Do()
+	}
+	if op.OnDone != nil {
+		op.OnDone(v, ok)
+	}
+}
+
+func (c *CE) newTag() uint64 {
+	c.nextTag++
+	if c.nextTag < tagBase {
+		c.nextTag = tagBase + 1
+	}
+	return c.nextTag
+}
+
+// tickVector advances a vector operation: consume the head of the
+// in-order element pipe (at most one per cycle), then issue the next
+// element request subject to the outstanding limit.
+func (c *CE) tickVector(now sim.Cycle) {
+	op := c.cur
+	if now < c.startupEnd {
+		return
+	}
+	if op.N == 0 {
+		c.complete(now, 0, true)
+		return
+	}
+	if op.Write {
+		c.tickVectorStore(now)
+		return
+	}
+	// Consume.
+	consumed := false
+	if op.UsePrefetch {
+		if c.vDone < op.N {
+			if c.pfu.Ready() {
+				c.pfu.Consume()
+				c.vDone++
+				c.Flops += int64(op.Flops)
+				consumed = true
+			} else {
+				c.StallMem++
+			}
+		}
+	} else {
+		if len(c.inflight) > 0 {
+			h := &c.inflight[0]
+			if h.arrived && h.usableAt <= now {
+				c.inflight = c.inflight[1:]
+				c.vDone++
+				c.Flops += int64(op.Flops)
+				consumed = true
+			} else {
+				c.StallMem++
+			}
+		}
+	}
+	_ = consumed
+	// Issue (not needed for the prefetch path: the PFU issues).
+	if !op.UsePrefetch && c.vIssued < op.N && len(c.inflight) < c.cfg.MaxOutstanding {
+		addr := op.Base.Word + uint64(c.vIssued*op.Stride)
+		if op.Base.Space == isa.Global {
+			tag := c.newTag()
+			p := &network.Packet{Dst: c.route(addr), Src: c.Port, Words: 1,
+				Kind: network.Read, Addr: addr, Tag: tag, Phantom: true}
+			if c.fwd.Offer(now, c.Port, p) {
+				c.inflight = append(c.inflight, inflightReq{tag: tag})
+				c.vIssued++
+			} else {
+				c.StallNet++
+			}
+		} else {
+			if ready, ok := c.cache.Access(now, c.Local, addr, false); ok {
+				c.inflight = append(c.inflight, inflightReq{arrived: true, usableAt: ready})
+				c.vIssued++
+			} else {
+				c.StallMem++
+			}
+		}
+	}
+	if c.vDone >= op.N {
+		c.complete(now, 0, true)
+	}
+}
+
+// tickVectorStore issues one store element per cycle; stores are posted
+// and never wait for completion.
+func (c *CE) tickVectorStore(now sim.Cycle) {
+	op := c.cur
+	addr := op.Base.Word + uint64(c.vIssued*op.Stride)
+	if op.Base.Space == isa.Global {
+		p := &network.Packet{Dst: c.route(addr), Src: c.Port, Words: 2,
+			Kind: network.Write, Addr: addr, Phantom: true}
+		if c.fwd.Offer(now, c.Port, p) {
+			c.vIssued++
+			c.Flops += int64(op.Flops)
+		} else {
+			c.StallNet++
+		}
+	} else {
+		if _, ok := c.cache.Access(now, c.Local, addr, true); ok {
+			c.vIssued++
+			c.Flops += int64(op.Flops)
+		} else {
+			c.StallMem++
+		}
+	}
+	if c.vIssued >= op.N {
+		c.complete(now, 0, true)
+	}
+}
+
+func (c *CE) startScalar(op *isa.Op, now sim.Cycle) {
+	if op.ScalarAddr.Space == isa.Global {
+		kind := network.Read
+		words := 1
+		if op.ScalarWrite {
+			kind = network.Write
+			words = 2
+		}
+		tag := c.newTag()
+		p := &network.Packet{Dst: c.route(op.ScalarAddr.Word), Src: c.Port, Words: words,
+			Kind: kind, Addr: op.ScalarAddr.Word, Tag: tag, Phantom: true}
+		if !c.fwd.Offer(now, c.Port, p) {
+			// Retry from tickScalar.
+			c.waitTag = 0
+			c.finishAt = -1
+			c.StallNet++
+			return
+		}
+		if op.ScalarWrite {
+			c.finishAt = now + 1 // posted
+		} else {
+			c.waitTag = tag
+			c.finishAt = -2 // waiting on reply
+		}
+		return
+	}
+	// Cluster space through the cache.
+	if ready, ok := c.cache.Access(now, c.Local, op.ScalarAddr.Word, op.ScalarWrite); ok {
+		if op.ScalarWrite {
+			c.finishAt = now + 1
+		} else {
+			c.finishAt = ready
+		}
+	} else {
+		c.finishAt = -1 // retry
+		c.StallMem++
+	}
+}
+
+func (c *CE) tickScalar(now sim.Cycle) {
+	switch {
+	case c.finishAt == -1: // structural retry
+		c.startScalar(c.cur, now)
+	case c.finishAt == -2: // waiting on global reply
+		if c.replyArrived && now >= c.replyUsable {
+			c.complete(now, c.replyV, c.replyOK)
+		} else {
+			c.StallMem++
+		}
+	default:
+		if now >= c.finishAt {
+			c.complete(now, 0, true)
+		}
+	}
+}
+
+func (c *CE) startSync(op *isa.Op, now sim.Cycle) {
+	tag := c.newTag()
+	p := &network.Packet{Dst: c.route(op.SyncAddr), Src: c.Port, Words: 2,
+		Kind: network.Sync, Addr: op.SyncAddr, Sync: op.SyncSpec, Tag: tag}
+	if !c.fwd.Offer(now, c.Port, p) {
+		c.finishAt = -1
+		c.StallNet++
+		return
+	}
+	c.waitTag = tag
+	c.finishAt = -2
+}
+
+func (c *CE) tickSync(now sim.Cycle) {
+	switch {
+	case c.finishAt == -1:
+		c.startSync(c.cur, now)
+	case c.finishAt == -2:
+		if c.replyArrived {
+			c.finishAt = now + c.cfg.SyncExtra
+		} else {
+			c.StallMem++
+		}
+	default:
+		if now >= c.finishAt {
+			c.complete(now, c.replyV, c.replyOK)
+		}
+	}
+}

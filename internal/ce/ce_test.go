@@ -1,0 +1,349 @@
+package ce
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/gmem"
+	"repro/internal/isa"
+	"repro/internal/network"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// rig is a one-CE machine: networks, memory, cache, PFU.
+type rig struct {
+	eng *sim.Engine
+	ce  *CE
+	g   *gmem.Global
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.New()
+	fwd := network.MustNew("forward", 64, 8, 0)
+	rev := network.MustNew("reverse", 64, 8, 0)
+	g, err := gmem.New(gmem.Config{Words: 4096, Modules: 32, ServiceCycles: 2, QueueWords: 4}, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < g.Modules(); m++ {
+		fwd.SetSink(m, g.Module(m))
+	}
+	ch := cache.New(cache.Config{Words: 1024, CEs: 1})
+	u := prefetch.New(fwd, 0, 0, -1)
+	u.SetRouter(g.ModuleOf)
+	c := New(DefaultConfig(), 0, 0, 0, fwd, ch, u, g.ModuleOf)
+	rev.SetSink(0, network.SinkFunc(func(p *network.Packet) bool { return c.Deliver(eng.Now(), p) }))
+	for p := 1; p < 64; p++ {
+		rev.SetSink(p, network.SinkFunc(func(*network.Packet) bool { return true }))
+	}
+	eng.Register("ce", c)
+	eng.Register("pfu", u)
+	eng.Register("fwd", fwd)
+	for m := 0; m < g.Modules(); m++ {
+		eng.Register("mod", g.Module(m))
+	}
+	eng.Register("rev", rev)
+	return &rig{eng: eng, ce: c, g: g}
+}
+
+func (r *rig) runToIdle(t *testing.T) sim.Cycle {
+	t.Helper()
+	at, err := r.eng.RunUntil(r.ce.Idle, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return at
+}
+
+func TestDefaultConfigValues(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.VectorStartup != 12 || cfg.XferCycles != 5 || cfg.MaxOutstanding != 2 {
+		t.Fatalf("defaults drifted: %+v", cfg)
+	}
+}
+
+func TestIdleAndProgramLifecycle(t *testing.T) {
+	r := newRig(t)
+	if !r.ce.Idle() {
+		t.Fatal("fresh CE not idle")
+	}
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(10)))
+	if r.ce.Idle() {
+		t.Fatal("CE idle with a program")
+	}
+	r.runToIdle(t)
+	if r.ce.OpsDone != 1 {
+		t.Fatalf("OpsDone = %d", r.ce.OpsDone)
+	}
+	// Reusable after completion.
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(5)))
+	r.runToIdle(t)
+	if r.ce.OpsDone != 2 {
+		t.Fatalf("OpsDone = %d after second program", r.ce.OpsDone)
+	}
+}
+
+func TestSetProgramWhileBusyPanics(t *testing.T) {
+	r := newRig(t)
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(100)))
+	r.eng.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetProgram on a busy CE did not panic")
+		}
+	}()
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(1)))
+}
+
+func TestForceProgramBetweenOps(t *testing.T) {
+	r := newRig(t)
+	ran := false
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(5)))
+	r.runToIdle(t)
+	op := isa.NewCompute(1)
+	op.Do = func() { ran = true }
+	r.ce.ForceProgram(isa.NewSeq(op))
+	r.runToIdle(t)
+	if !ran {
+		t.Fatal("forced program did not run")
+	}
+}
+
+func TestForceProgramMidOpPanics(t *testing.T) {
+	r := newRig(t)
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(100)))
+	r.eng.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForceProgram with an op in flight did not panic")
+		}
+	}()
+	r.ce.ForceProgram(isa.NewSeq(isa.NewCompute(1)))
+}
+
+// TestVectorFlopAccounting: a vector load with k chained flops per
+// element over n elements credits exactly n*k flops.
+func TestVectorFlopAccounting(t *testing.T) {
+	r := newRig(t)
+	r.ce.SetProgram(isa.NewSeq(
+		isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 0}, 48, 1, 3, false),
+	))
+	r.runToIdle(t)
+	if r.ce.Flops != 48*3 {
+		t.Fatalf("Flops = %d, want %d", r.ce.Flops, 48*3)
+	}
+}
+
+// TestVectorStartupCost: a zero-length vector op still pays startup; a
+// 32-element cluster-resident op takes about startup + 32 cycles.
+func TestVectorStartupCost(t *testing.T) {
+	r := newRig(t)
+	var doneAt sim.Cycle
+	warm := isa.NewVectorLoad(isa.Addr{Space: isa.Cluster, Word: 0}, 32, 1, 0, false)
+	hot := isa.NewVectorLoad(isa.Addr{Space: isa.Cluster, Word: 0}, 32, 1, 1, false)
+	var warmDone sim.Cycle
+	warm.OnDone = func(int64, bool) { warmDone = r.eng.Now() }
+	hot.OnDone = func(int64, bool) { doneAt = r.eng.Now() }
+	r.ce.SetProgram(isa.NewSeq(warm, hot))
+	r.runToIdle(t)
+	elapsed := doneAt - warmDone
+	// Startup 12 + ~32 consume + small pipeline slack.
+	if elapsed < 44 || elapsed > 55 {
+		t.Fatalf("warm 32-element vector op took %d cycles, want ~44-50", elapsed)
+	}
+}
+
+// TestOutstandingLimitThroughput: the direct global stream rate is
+// 2 words per (8 + 5) cycles.
+func TestOutstandingLimitThroughput(t *testing.T) {
+	r := newRig(t)
+	const n = 130
+	var start, end sim.Cycle
+	first := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 0}, 2, 1, 0, false)
+	first.OnDone = func(int64, bool) { start = r.eng.Now() }
+	main := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 2}, n, 1, 0, false)
+	main.OnDone = func(int64, bool) { end = r.eng.Now() }
+	r.ce.SetProgram(isa.NewSeq(first, main))
+	r.runToIdle(t)
+	perWord := float64(end-start) / float64(n)
+	if perWord < 6.0 || perWord > 7.2 {
+		t.Fatalf("direct global stream = %.2f cycles/word, want ~6.5 (2 per 13)", perWord)
+	}
+}
+
+// TestPrefetchOpIsAutonomous: a Prefetch op completes immediately and the
+// PFU works in the background while the CE computes.
+func TestPrefetchOpIsAutonomous(t *testing.T) {
+	r := newRig(t)
+	var pfDone, computeDone sim.Cycle
+	pf := isa.NewPrefetch(isa.Addr{Space: isa.Global, Word: 0}, 64, 1)
+	pf.OnDone = func(int64, bool) { pfDone = r.eng.Now() }
+	comp := isa.NewCompute(100)
+	comp.OnDone = func(int64, bool) { computeDone = r.eng.Now() }
+	consume := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 0}, 64, 1, 1, true)
+	r.ce.SetProgram(isa.NewSeq(pf, comp, consume))
+	at := r.runToIdle(t)
+	if pfDone > 3 {
+		t.Fatalf("prefetch op occupied the CE until %d", pfDone)
+	}
+	// The 64-word prefetch (≥64 cycles of issue+arrival) overlapped the
+	// 100-cycle compute: total well under the serial sum.
+	if at > computeDone+90 {
+		t.Fatalf("no overlap: idle at %d, compute done %d", at, computeDone)
+	}
+}
+
+// TestPostedWritesDoNotStall: a long global store stream completes at
+// issue bandwidth, far faster than the round-trip-bound load stream.
+func TestPostedWritesDoNotStall(t *testing.T) {
+	r := newRig(t)
+	const n = 64
+	st := isa.NewVectorStore(isa.Addr{Space: isa.Global, Word: 0}, n, 1, 0)
+	r.ce.SetProgram(isa.NewSeq(st))
+	at := r.runToIdle(t)
+	if at > 4*n {
+		t.Fatalf("posted store stream took %d cycles for %d words", at, n)
+	}
+	if r.ce.StallMem != 0 {
+		t.Fatalf("stores stalled on memory %d cycles", r.ce.StallMem)
+	}
+}
+
+// TestSyncRoundTrip: a sync op completes at arrival plus the CE-side
+// cost, and its OnDone sees the memory value.
+func TestSyncRoundTrip(t *testing.T) {
+	r := newRig(t)
+	r.g.StoreInt(7, 41)
+	var got int64
+	var gotOK bool
+	op := isa.NewSync(7, network.FetchAndAdd(1))
+	op.OnDone = func(v int64, ok bool) { got, gotOK = v, ok }
+	r.ce.SetProgram(isa.NewSeq(op))
+	at := r.runToIdle(t)
+	if got != 41 || !gotOK {
+		t.Fatalf("sync result %d/%v, want 41/true", got, gotOK)
+	}
+	if r.g.LoadInt(7) != 42 {
+		t.Fatalf("memory = %d, want 42", r.g.LoadInt(7))
+	}
+	// 8-cycle round trip + SyncExtra + op boundaries.
+	if at < 10 || at > 16 {
+		t.Fatalf("sync completed at %d, want ~11-13", at)
+	}
+}
+
+// TestScalarClusterRetryOnMSHRFull: scalar accesses retry through
+// structural hazards rather than deadlocking.
+func TestScalarClusterRetry(t *testing.T) {
+	r := newRig(t)
+	ops := make([]*isa.Op, 0, 12)
+	for i := 0; i < 12; i++ {
+		// Different lines, same small cache: forced misses.
+		ops = append(ops, isa.NewScalarLoad(isa.Addr{Space: isa.Cluster, Word: uint64(i * 64)}))
+	}
+	r.ce.SetProgram(isa.NewSeq(ops...))
+	r.runToIdle(t)
+	if r.ce.OpsDone != 12 {
+		t.Fatalf("OpsDone = %d, want 12", r.ce.OpsDone)
+	}
+}
+
+func TestUnmatchedReplyPanics(t *testing.T) {
+	r := newRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched reply accepted")
+		}
+	}()
+	r.ce.Deliver(0, &network.Packet{Tag: tagBase + 999, Kind: network.Reply})
+}
+
+// TestDeterministicInterleaving: two identical single-CE runs take the
+// same cycle count and credit the same stalls.
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() (sim.Cycle, int64, int64) {
+		r := newRig(t)
+		r.ce.SetProgram(isa.NewSeq(
+			isa.NewPrefetch(isa.Addr{Space: isa.Global, Word: 0}, 96, 1),
+			isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 0}, 96, 1, 2, true),
+			isa.NewVectorStore(isa.Addr{Space: isa.Global, Word: 512}, 32, 1, 0),
+			isa.NewSync(7, network.TestAndSet()),
+		))
+		at := r.runToIdle(t)
+		return at, r.ce.StallMem, r.ce.Flops
+	}
+	a1, s1, f1 := run()
+	a2, s2, f2 := run()
+	if a1 != a2 || s1 != s2 || f1 != f2 {
+		t.Fatalf("nondeterminism: (%d,%d,%d) vs (%d,%d,%d)", a1, s1, f1, a2, s2, f2)
+	}
+}
+
+// TestStoreStreamUnderCongestion: many CEs storing through one machine
+// exercises the network-refusal retry path (StallNet) without losing any
+// stores.
+func TestStoreStreamUnderCongestion(t *testing.T) {
+	eng := sim.New()
+	fwd := network.MustNew("forward", 64, 8, 0)
+	rev := network.MustNew("reverse", 64, 8, 0)
+	g, err := gmem.New(gmem.Config{Words: 65536, Modules: 32, ServiceCycles: 2, QueueWords: 4}, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < g.Modules(); m++ {
+		fwd.SetSink(m, g.Module(m))
+	}
+	ch := cache.New(cache.Config{Words: 1024, CEs: 8})
+	ces := make([]*CE, 8)
+	for i := range ces {
+		c := New(DefaultConfig(), i, i, i, fwd, ch, nil, g.ModuleOf)
+		ces[i] = c
+		rev.SetSink(i, network.SinkFunc(func(p *network.Packet) bool { return c.Deliver(eng.Now(), p) }))
+		eng.Register("ce", c)
+	}
+	for p := 8; p < 64; p++ {
+		rev.SetSink(p, network.SinkFunc(func(*network.Packet) bool { return true }))
+	}
+	eng.Register("fwd", fwd)
+	for m := 0; m < g.Modules(); m++ {
+		eng.Register("mod", g.Module(m))
+	}
+	eng.Register("rev", rev)
+
+	// All 8 CEs store to module-aliasing addresses: severe contention.
+	const n = 128
+	for i, c := range ces {
+		c.SetProgram(isa.NewSeq(
+			isa.NewVectorStore(isa.Addr{Space: isa.Global, Word: uint64(i)}, n, 32, 0),
+		))
+	}
+	idle := func() bool {
+		for _, c := range ces {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return fwd.InFlight() == 0
+	}
+	if _, err := eng.RunUntil(idle, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Posted writes may still sit in module queues after the network
+	// drains (weak ordering: no one waits for them); let them complete.
+	eng.Run(200)
+	var stalls, writes int64
+	for _, c := range ces {
+		stalls += c.StallNet
+	}
+	for m := 0; m < g.Modules(); m++ {
+		writes += g.Module(m).Writes
+	}
+	if writes != 8*n {
+		t.Fatalf("%d writes served, want %d", writes, 8*n)
+	}
+	if stalls == 0 {
+		t.Fatal("no network stalls under aliased store contention")
+	}
+}

@@ -1,0 +1,62 @@
+package cedarfort_test
+
+import (
+	"fmt"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Example runs a self-scheduled XDOALL over a one-cluster machine: each
+// iteration is claimed through a fetch-and-add in global memory and the
+// body's arithmetic runs on ordinary Go data.
+func Example() {
+	cfg := core.ConfigClusters(1)
+	cfg.Global.Words = 1 << 12
+	m := core.MustNew(cfg)
+	rt := cedarfort.New(m, cedarfort.DefaultConfig())
+
+	sum := make([]int, m.NumCEs())
+	_, err := rt.XDOALL(100, cedarfort.SelfScheduled, func(ctx *cedarfort.Ctx, iter int) {
+		op := isa.NewCompute(10)
+		ce := ctx.CE.ID
+		op.Do = func() { sum[ce] += iter }
+		ctx.Emit(op)
+	})
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, s := range sum {
+		total += s
+	}
+	fmt.Println(total)
+	// Output:
+	// 4950
+}
+
+// ExampleRuntime_SDOALL nests a CDOALL inside an SDOALL: the outer loop
+// schedules iterations onto whole clusters, the inner loop spreads over
+// the cluster's CEs through the concurrency bus.
+func ExampleRuntime_SDOALL() {
+	cfg := core.ConfigClusters(2)
+	cfg.Global.Words = 1 << 12
+	m := core.MustNew(cfg)
+	rt := cedarfort.New(m, cedarfort.DefaultConfig())
+
+	count := 0
+	_, err := rt.SDOALL(4, true, func(ctx *cedarfort.Ctx, iter int) {
+		ctx.CDOALL(8, cedarfort.SelfScheduled, func(ictx *cedarfort.Ctx, j int) {
+			op := isa.NewCompute(5)
+			op.Do = func() { count++ }
+			ictx.Emit(op)
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(count)
+	// Output:
+	// 32
+}

@@ -1,0 +1,169 @@
+// Package cluster assembles one Alliant FX/8 cluster: eight computational
+// elements sharing an interleaved cache in front of cluster memory, tied
+// together by the concurrency control bus.
+//
+// The concurrency bus supports Cedar's fast intra-cluster parallel-loop
+// control: a single "concurrent start" instruction spreads the iterations
+// of a parallel loop from one CE to all CEs in the cluster by
+// broadcasting the program counter and setting up private stacks — the
+// whole cluster is gang-scheduled, and the CEs then self-schedule
+// iterations among themselves over the bus. Starting a loop this way
+// costs a few microseconds, versus roughly 90 µs for a loop spread over
+// the whole machine through global memory (the CDOALL/XDOALL asymmetry of
+// Section 3.2 of the paper).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/ce"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Config holds the cluster-level parameters.
+type Config struct {
+	// CEs is the processor count per cluster (8 in Cedar).
+	CEs int
+	// SpreadCycles is the concurrent-start cost: the time from the
+	// initiating CE executing the start to all cluster CEs running the
+	// loop (default ~3 µs = 18 cycles, the paper's "few microseconds").
+	SpreadCycles sim.Cycle
+	// ClaimCycles is the per-iteration self-scheduling cost over the
+	// concurrency bus (default 2 cycles).
+	ClaimCycles sim.Cycle
+	// MemWords is the cluster-memory address-space size in words used by
+	// the bump allocator (32 MB = 4 Mwords in Cedar).
+	MemWords uint64
+}
+
+// DefaultConfig returns the as-built cluster parameters.
+func DefaultConfig() Config {
+	return Config{
+		CEs:          8,
+		SpreadCycles: sim.FromMicroseconds(3),
+		ClaimCycles:  2,
+		MemWords:     4 << 20,
+	}
+}
+
+// Cluster is one Alliant FX/8.
+type Cluster struct {
+	cfg Config
+	// ID is the cluster index within the machine.
+	ID    int
+	Cache *cache.Cache
+	CEs   []*ce.CE
+	// IPs is the cluster's interactive-processor I/O path (set by the
+	// machine assembly; may be nil in bare test rigs).
+	IPs *IP
+
+	allocNext uint64
+}
+
+// New assembles a cluster around pre-built CEs and their shared cache.
+func New(cfg Config, id int, ch *cache.Cache, ces []*ce.CE) *Cluster {
+	if len(ces) != cfg.CEs {
+		panic(fmt.Sprintf("cluster %d: %d CEs for a %d-CE configuration", id, len(ces), cfg.CEs))
+	}
+	return &Cluster{cfg: cfg, ID: id, Cache: ch, CEs: ces}
+}
+
+// Config returns the cluster's configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// Alloc reserves n words of cluster-memory address space and returns the
+// base word address. Cluster memory is private to the cluster: addresses
+// are meaningful only to this cluster's cache.
+func (cl *Cluster) Alloc(n uint64) uint64 {
+	if cl.allocNext+n > cl.cfg.MemWords {
+		panic(fmt.Sprintf("cluster %d: out of cluster memory (%d of %d words)", cl.ID, cl.allocNext, cl.cfg.MemWords))
+	}
+	base := cl.allocNext
+	cl.allocNext += n
+	return base
+}
+
+// AllocReset releases all cluster-memory allocations (between workloads).
+func (cl *Cluster) AllocReset() { cl.allocNext = 0 }
+
+// Idle reports whether every CE in the cluster is idle.
+func (cl *Cluster) Idle() bool {
+	for _, c := range cl.CEs {
+		if !c.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// SpreadOp returns the micro-operation an initiating CE executes to
+// perform a concurrent start: it occupies the initiator for the bus
+// spread cost and then assigns each cluster CE its program. progs[i] may
+// be nil to leave CE i idle (the initiator too, if its slot is nil). The
+// broadcast program counter ends every CE's current instruction stream —
+// including the initiator's, so SpreadOp is normally the last operation
+// of the stream that executes it; any unexecuted remainder is discarded.
+func (cl *Cluster) SpreadOp(progs []isa.Program) *isa.Op {
+	if len(progs) != len(cl.CEs) {
+		panic(fmt.Sprintf("cluster %d: %d programs for %d CEs", cl.ID, len(progs), len(cl.CEs)))
+	}
+	op := isa.NewCompute(cl.cfg.SpreadCycles)
+	op.Do = func() {
+		for i, p := range progs {
+			if p == nil {
+				continue
+			}
+			cl.CEs[i].ForceProgram(p)
+		}
+	}
+	return op
+}
+
+// SelfSchedule builds the per-CE programs of a bus-self-scheduled
+// parallel loop over iterations [0, n): each CE repeatedly claims the
+// next iteration over the concurrency bus (ClaimCycles) and runs the
+// operations body(iter) emits. The returned slice is suitable for
+// SpreadOp. The claim counter is bus state, not memory: claims are
+// instantaneous at the simulation level and serialized by the
+// deterministic engine.
+func (cl *Cluster) SelfSchedule(n int, body func(iter int, g *isa.Gen)) []isa.Program {
+	next := 0
+	progs := make([]isa.Program, len(cl.CEs))
+	for i := range progs {
+		progs[i] = isa.NewGen(func(g *isa.Gen) bool {
+			if next >= n {
+				return false
+			}
+			iter := next
+			next++
+			g.Emit(isa.NewCompute(cl.cfg.ClaimCycles))
+			body(iter, g)
+			return true
+		})
+	}
+	return progs
+}
+
+// StaticSchedule builds per-CE programs for a statically blocked parallel
+// loop over [0, n): CE i runs iterations i, i+P, i+2P, ... with no
+// per-iteration claim cost (the concurrency bus computes the next
+// iteration in the fork hardware).
+func (cl *Cluster) StaticSchedule(n int, body func(iter int, g *isa.Gen)) []isa.Program {
+	progs := make([]isa.Program, len(cl.CEs))
+	p := len(cl.CEs)
+	for i := range progs {
+		start := i
+		iter := start
+		progs[i] = isa.NewGen(func(g *isa.Gen) bool {
+			if iter >= n {
+				return false
+			}
+			body(iter, g)
+			iter += p
+			return true
+		})
+	}
+	return progs
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/xylem"
+)
+
+// IP models a cluster's interactive processors, which "perform
+// input/output and various other tasks" in the Alliant FX/8 (the IPs and
+// IP caches of the paper's Figure 2). An IP serves I/O requests
+// sequentially at the Xylem file-system cost model's rates, so
+// concurrent I/O from a cluster's CEs serializes — the property that
+// makes I/O-heavy codes like BDNA and MG3D sensitive to their I/O
+// volume regardless of processor count.
+type IP struct {
+	fs *xylem.FS
+
+	queue       []ioReq
+	busyTil     sim.Cycle
+	pendingDone []doneAt
+
+	// Requests counts submissions; BusyCycles accumulates service time.
+	Requests   int64
+	BusyCycles int64
+}
+
+type ioReq struct {
+	words     int64
+	formatted bool
+	onDone    func()
+}
+
+// NewIP returns an IP using the given file-system cost model (nil
+// selects the default).
+func NewIP(fs *xylem.FS) *IP {
+	if fs == nil {
+		fs = xylem.NewFS(xylem.DefaultFSConfig())
+	}
+	return &IP{fs: fs}
+}
+
+// Submit enqueues an I/O transfer of words 64-bit words; onDone (may be
+// nil) runs at the simulated time the transfer completes.
+func (ip *IP) Submit(words int64, formatted bool, onDone func()) {
+	if words < 0 {
+		panic(fmt.Sprintf("cluster: negative I/O size %d", words))
+	}
+	ip.Requests++
+	ip.queue = append(ip.queue, ioReq{words: words, formatted: formatted, onDone: onDone})
+}
+
+// Pending reports queued plus in-service requests.
+func (ip *IP) Pending() int { return len(ip.queue) }
+
+// Tick advances the IP: fire completions whose service time has
+// elapsed, then start the next transfer when free.
+func (ip *IP) Tick(now sim.Cycle) {
+	ip.firePending(now)
+	if len(ip.queue) == 0 || now < ip.busyTil {
+		return
+	}
+	req := ip.queue[0]
+	copy(ip.queue, ip.queue[1:])
+	ip.queue = ip.queue[:len(ip.queue)-1]
+	var cost sim.Cycle
+	if req.formatted {
+		cost = ip.fs.FormattedIO(req.words)
+	} else {
+		cost = ip.fs.UnformattedIO(req.words)
+	}
+	ip.busyTil = now + cost
+	ip.BusyCycles += int64(cost)
+	if req.onDone != nil {
+		ip.pendingDone = append(ip.pendingDone, doneAt{at: ip.busyTil, f: req.onDone})
+	}
+}
+
+// pendingDone tracking (fired from tick).
+type doneAt struct {
+	at sim.Cycle
+	f  func()
+}
+
+// firePending invokes completions whose service time has arrived, in
+// submission order.
+func (ip *IP) firePending(now sim.Cycle) {
+	kept := ip.pendingDone[:0]
+	for _, d := range ip.pendingDone {
+		if d.at <= now {
+			d.f()
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	ip.pendingDone = kept
+}

@@ -1,0 +1,94 @@
+package compare
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetComplete(t *testing.T) {
+	ds := Dataset()
+	if len(ds) != 13 {
+		t.Fatalf("dataset has %d codes, want 13", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, c := range ds {
+		if seen[c.Name] {
+			t.Fatalf("duplicate code %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.CedarAutoMFLOPS <= 0 || c.YMPOverCedar <= 0 || c.Cray1MFLOPS <= 0 {
+			t.Fatalf("%s: non-positive rate", c.Name)
+		}
+		for _, e := range []float64{c.CedarAutoEff, c.YMPAutoEff, c.CedarManualEff, c.YMPManualEff} {
+			if e <= 0 || e > 1 {
+				t.Fatalf("%s: efficiency %g out of (0,1]", c.Name, e)
+			}
+		}
+		if c.CedarManualEff < c.CedarAutoEff {
+			t.Fatalf("%s: manual optimization lowered Cedar efficiency", c.Name)
+		}
+	}
+}
+
+func TestPublishedRatios(t *testing.T) {
+	ds := Dataset()
+	byName := map[string]CodePoint{}
+	for _, c := range ds {
+		byName[c.Name] = c
+	}
+	// Spot-check against Table 3's last column.
+	if byName["ARC2D"].YMPOverCedar != 34.2 {
+		t.Fatal("ARC2D ratio drifted")
+	}
+	if got := byName["QCD"].YMPOverCedar; math.Abs(got-1/1.8) > 1e-12 {
+		t.Fatalf("QCD ratio = %g, want 1/1.8 (Cedar faster)", got)
+	}
+	if got := byName["ARC2D"].YMPMFLOPS(); math.Abs(got-13.1*34.2) > 1e-9 {
+		t.Fatalf("ARC2D YMP MFLOPS = %g", got)
+	}
+}
+
+func TestRateExtractors(t *testing.T) {
+	ds := Dataset()
+	if len(CedarRates(ds)) != 13 || len(YMPRates(ds)) != 13 || len(Cray1Rates(ds)) != 13 {
+		t.Fatal("extractor lengths wrong")
+	}
+	if CedarRates(ds)[0] != ds[0].CedarAutoMFLOPS {
+		t.Fatal("CedarRates order wrong")
+	}
+}
+
+func TestCM5MonotoneInBandwidth(t *testing.T) {
+	cm5 := DefaultCM5(32)
+	if cm5.MatVecMFLOPS(65536, 11) <= cm5.MatVecMFLOPS(65536, 3) {
+		t.Fatal("wider band should deliver more MFLOPS")
+	}
+	// Time grows with N.
+	if cm5.MatVecSeconds(262144, 3) <= cm5.MatVecSeconds(16384, 3) {
+		t.Fatal("time not monotone in N")
+	}
+	// Per-processor rates are roughly flat in N (the paper reports
+	// narrow MFLOPS ranges over 16K..256K).
+	lo, hi := cm5.MatVecMFLOPS(16384, 11), cm5.MatVecMFLOPS(262144, 11)
+	if hi/lo > 1.6 {
+		t.Fatalf("rate varies too much with N: %.1f..%.1f", lo, hi)
+	}
+}
+
+func TestCM5EfficiencyDefinition(t *testing.T) {
+	cm5 := DefaultCM5(32)
+	eff := cm5.Efficiency(65536, 11)
+	want := cm5.MatVecMFLOPS(65536, 11) / (32 * cm5.NodePeakMFLOPS)
+	if math.Abs(eff-want) > 1e-12 {
+		t.Fatal("efficiency definition drifted")
+	}
+}
+
+func TestMachineSpecs(t *testing.T) {
+	if Cedar32.Processors != 32 || YMP8.Processors != 8 || Cray1S.Processors != 1 {
+		t.Fatal("machine specs wrong")
+	}
+	if WorkstationInstability != 5.0 {
+		t.Fatal("workstation instability yardstick drifted")
+	}
+}

@@ -1,0 +1,296 @@
+// Package core assembles the Cedar machine — the paper's primary
+// contribution: a cluster-based shared-memory multiprocessor in which
+// four slightly modified Alliant FX/8 clusters (eight CEs each) are
+// connected through two unidirectional multistage shuffle-exchange
+// networks to a globally shared memory with per-module synchronization
+// processors, with a data prefetch unit per CE.
+//
+// A Machine owns the simulation engine and every component, wired in the
+// paper's topology:
+//
+//	CE/PFU --> forward network --> global memory modules
+//	CE/PFU <-- reverse network <-- (replies, prefetch data, sync results)
+//	CE <-> shared cluster cache <-> cluster memory   (within a cluster)
+//
+// Configurations of one to four clusters (8 to 32 CEs) reproduce the
+// paper's measurement points; the parameters default to the as-built
+// machine and every one of them can be varied for ablation studies.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/ce"
+	"repro/internal/cluster"
+	"repro/internal/gmem"
+	"repro/internal/isa"
+	"repro/internal/network"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// Config describes a Cedar machine.
+type Config struct {
+	// Clusters is the cluster count (Cedar: 4; the paper also measures 1,
+	// 2 and 3 cluster configurations).
+	Clusters int
+	// Cluster holds the per-cluster parameters (CEs per cluster, bus
+	// costs, cluster-memory size).
+	Cluster cluster.Config
+	// CE holds the processor timing parameters.
+	CE ce.Config
+	// Cache holds the shared-cache parameters.
+	Cache cache.Config
+	// Global holds the global-memory parameters.
+	Global gmem.Config
+	// NetRadix and NetQueueWords configure both networks (8x8 crossbars
+	// with 2-word port queues in Cedar). Port count is derived: the
+	// smallest power of NetRadix covering max(CEs, memory modules).
+	NetRadix      int
+	NetQueueWords int
+	// PageWords is the virtual-memory page size in words (4 KB = 512);
+	// PageCrossCycles the prefetch-unit page-crossing assist cost.
+	PageWords       int
+	PageCrossCycles sim.Cycle
+	// IdealNetwork replaces both omega networks with contentionless
+	// fabrics of the same unloaded latency — the ablation that tests the
+	// paper's claim that the measured degradation "is not inherent in
+	// the type of network used" [Turn93].
+	IdealNetwork bool
+}
+
+// DefaultConfig returns the as-built, full four-cluster Cedar.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:        4,
+		Cluster:         cluster.DefaultConfig(),
+		CE:              ce.DefaultConfig(),
+		Cache:           cache.Default(),
+		Global:          gmem.Default(),
+		NetRadix:        8,
+		NetQueueWords:   network.DefaultQueueWords,
+		PageWords:       prefetch.DefaultPageWords,
+		PageCrossCycles: prefetch.DefaultPageCrossCycles,
+	}
+}
+
+// ConfigClusters returns the default configuration scaled to n clusters.
+func ConfigClusters(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Clusters = n
+	return cfg
+}
+
+// ScaledConfig returns a scaled-up Cedar-like system of n clusters: the
+// memory-module count grows with the processor count (one module per
+// CE, preserving the as-built 24 MB/s-per-processor global bandwidth)
+// and the networks deepen as the port count demands — at 8 or more
+// clusters the 8x8 crossbars need three stages instead of two, raising
+// the minimal round-trip latency. This is the paper's closing question
+// (Practical Parallelism Test 5: technology and scalable
+// reimplementability), which it left to future simulation studies.
+func ScaledConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Clusters = n
+	ces := n * cfg.Cluster.CEs
+	cfg.Global.Modules = ces
+	cfg.Global.Words = ces * (2 << 20 / 8) // keep 2 MB of global memory per CE
+	return cfg
+}
+
+// Machine is an assembled Cedar.
+type Machine struct {
+	cfg Config
+
+	Eng      *sim.Engine
+	Fwd      *network.Network
+	Rev      *network.Network
+	Global   *gmem.Global
+	Clusters []*cluster.Cluster
+
+	ces []*ce.CE
+
+	globalAllocNext uint64
+}
+
+// New assembles and wires a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Clusters <= 0 {
+		return nil, fmt.Errorf("core: %d clusters", cfg.Clusters)
+	}
+	if cfg.Cluster.CEs <= 0 {
+		return nil, fmt.Errorf("core: %d CEs per cluster", cfg.Cluster.CEs)
+	}
+	nces := cfg.Clusters * cfg.Cluster.CEs
+	if cfg.NetRadix < 2 {
+		return nil, fmt.Errorf("core: network radix %d", cfg.NetRadix)
+	}
+	need := nces
+	if cfg.Global.Modules > need {
+		need = cfg.Global.Modules
+	}
+	ports := cfg.NetRadix
+	for ports < need {
+		ports *= cfg.NetRadix
+	}
+
+	eng := sim.New()
+	mkNet := func(name string) (*network.Network, error) {
+		if cfg.IdealNetwork {
+			return network.NewIdeal(name, ports, cfg.NetRadix)
+		}
+		return network.New(name, ports, cfg.NetRadix, cfg.NetQueueWords)
+	}
+	fwd, err := mkNet("forward")
+	if err != nil {
+		return nil, err
+	}
+	rev, err := mkNet("reverse")
+	if err != nil {
+		return nil, err
+	}
+	g, err := gmem.New(cfg.Global, rev)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, Eng: eng, Fwd: fwd, Rev: rev, Global: g}
+
+	// Global memory modules sink the forward network; the module index
+	// is the port.
+	for mod := 0; mod < g.Modules(); mod++ {
+		fwd.SetSink(mod, g.Module(mod))
+	}
+	// Unused forward ports reject deliveries loudly.
+	for p := g.Modules(); p < ports; p++ {
+		port := p
+		fwd.SetSink(port, network.SinkFunc(func(*network.Packet) bool {
+			panic(fmt.Sprintf("core: request delivered to unused forward port %d", port))
+		}))
+	}
+
+	route := func(addr uint64) int { return g.ModuleOf(addr) }
+
+	// Build clusters, CEs and PFUs. CE's machine-wide index is its
+	// network port.
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		cacheCfg := cfg.Cache
+		cacheCfg.CEs = cfg.Cluster.CEs
+		ch := cache.New(cacheCfg)
+		ces := make([]*ce.CE, cfg.Cluster.CEs)
+		for i := 0; i < cfg.Cluster.CEs; i++ {
+			id := cl*cfg.Cluster.CEs + i
+			u := prefetch.New(fwd, id, cfg.PageWords, cfg.PageCrossCycles)
+			u.SetRouter(route)
+			c := ce.New(cfg.CE, id, id, i, fwd, ch, u, route)
+			ces[i] = c
+			m.ces = append(m.ces, c)
+			rev.SetSink(id, network.SinkFunc(func(p *network.Packet) bool {
+				return c.Deliver(eng.Now(), p)
+			}))
+		}
+		clu := cluster.New(cfg.Cluster, cl, ch, ces)
+		clu.IPs = cluster.NewIP(nil)
+		m.Clusters = append(m.Clusters, clu)
+	}
+	for p := nces; p < ports; p++ {
+		port := p
+		rev.SetSink(port, network.SinkFunc(func(*network.Packet) bool {
+			panic(fmt.Sprintf("core: reply delivered to unused reverse port %d", port))
+		}))
+	}
+
+	// Tick order: CEs, prefetch units, forward network, memory modules,
+	// reverse network. A CE can fire its PFU and have the first request
+	// enter the forward network in the same cycle; replies injected by a
+	// module this cycle start their reverse trip this cycle.
+	for _, c := range m.ces {
+		m.Eng.Register(fmt.Sprintf("ce%d", c.ID), c)
+	}
+	for _, c := range m.ces {
+		m.Eng.Register(fmt.Sprintf("pfu%d", c.ID), c.PFU())
+	}
+	for _, clu := range m.Clusters {
+		m.Eng.Register(fmt.Sprintf("ip%d", clu.ID), clu.IPs)
+	}
+	m.Eng.Register("fwd", fwd)
+	for mod := 0; mod < g.Modules(); mod++ {
+		m.Eng.Register(fmt.Sprintf("gmod%d", mod), g.Module(mod))
+	}
+	m.Eng.Register("rev", rev)
+	return m, nil
+}
+
+// MustNew is New, panicking on configuration errors.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// CEs returns all computational elements in machine order (cluster 0's
+// CEs first).
+func (m *Machine) CEs() []*ce.CE { return m.ces }
+
+// CE returns the CE with machine-wide index id.
+func (m *Machine) CE(id int) *ce.CE { return m.ces[id] }
+
+// NumCEs returns the total processor count.
+func (m *Machine) NumCEs() int { return len(m.ces) }
+
+// AllocGlobal reserves n words of global memory and returns the base word
+// address (a bump allocator standing in for Xylem's global heap).
+func (m *Machine) AllocGlobal(n uint64) uint64 {
+	if m.globalAllocNext+n > uint64(m.Global.Words()) {
+		panic(fmt.Sprintf("core: out of global memory (%d of %d words)", m.globalAllocNext, m.Global.Words()))
+	}
+	base := m.globalAllocNext
+	m.globalAllocNext += n
+	return base
+}
+
+// AllocGlobalReset releases all global allocations (between workloads).
+func (m *Machine) AllocGlobalReset() { m.globalAllocNext = 0 }
+
+// Idle reports whether every CE is idle and both networks are drained.
+func (m *Machine) Idle() bool {
+	for _, c := range m.ces {
+		if !c.Idle() {
+			return false
+		}
+	}
+	return m.Fwd.InFlight() == 0 && m.Rev.InFlight() == 0
+}
+
+// RunUntilIdle advances the machine until Idle, returning the cycle at
+// which it quiesced.
+func (m *Machine) RunUntilIdle(max sim.Cycle) (sim.Cycle, error) {
+	return m.Eng.RunUntil(m.Idle, max)
+}
+
+// Dispatch assigns a program to CE id (it must be idle).
+func (m *Machine) Dispatch(id int, p isa.Program) { m.ces[id].SetProgram(p) }
+
+// TotalFlops sums the floating-point operations performed by all CEs.
+func (m *Machine) TotalFlops() int64 {
+	var total int64
+	for _, c := range m.ces {
+		total += c.Flops
+	}
+	return total
+}
+
+// MFLOPS converts a flop count over a cycle span to the paper's rate
+// metric (millions of floating-point operations per second of simulated
+// time).
+func MFLOPS(flops int64, cycles sim.Cycle) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(flops) / cycles.Seconds() / 1e6
+}

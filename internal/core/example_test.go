@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Example builds a one-cluster Cedar, runs one global vector operation
+// with prefetch on a single CE, and reports the flop accounting — the
+// minimal end-to-end use of the machine.
+func Example() {
+	cfg := core.ConfigClusters(1)
+	cfg.Global.Words = 1 << 12
+	m, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	addr := isa.Addr{Space: isa.Global, Word: 0}
+	m.Dispatch(0, isa.NewSeq(
+		isa.NewPrefetch(addr, 64, 1),
+		isa.NewVectorLoad(addr, 64, 1, 2, true),
+	))
+	if _, err := m.RunUntilIdle(10_000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("flops: %d\n", m.TotalFlops())
+	fmt.Printf("requests served: %d\n", m.Fwd.Delivered)
+	// Output:
+	// flops: 128
+	// requests served: 64
+}
+
+// ExampleMachine_Topology prints the machine's wiring, the programmatic
+// form of the paper's Figures 1 and 2.
+func ExampleMachine_Topology() {
+	cfg := core.ConfigClusters(1)
+	cfg.Global.Words = 1 << 12
+	m := core.MustNew(cfg)
+	fmt.Println(strings.SplitN(m.Topology(), "\n", 2)[0])
+	// Output:
+	// Cedar: 1 clusters x 8 CEs = 8 processors @ 170ns cycle
+}

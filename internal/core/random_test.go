@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// genProgram builds a random but valid program: a mix of compute, vector
+// (global direct, global prefetched, cluster), scalar, store and sync
+// operations. Returns the program and its expected flop count.
+func genProgram(r *sim.Rand, gWords uint64, syncAddr uint64) (isa.Program, int64) {
+	n := 3 + r.Intn(12)
+	seq := isa.NewSeq()
+	var flops int64
+	for i := 0; i < n; i++ {
+		switch r.Intn(7) {
+		case 0:
+			seq.Add(isa.NewCompute(sim.Cycle(r.Intn(50))))
+		case 1: // direct global vector load
+			ln := 1 + r.Intn(64)
+			f := r.Intn(3)
+			base := uint64(r.Intn(int(gWords) - ln*4))
+			seq.Add(isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: base}, ln, 1+r.Intn(3), f, false))
+			flops += int64(ln * f)
+		case 2: // prefetched global vector load
+			ln := 1 + r.Intn(128)
+			stride := 1 + r.Intn(3)
+			f := r.Intn(3)
+			base := uint64(r.Intn(int(gWords) - ln*stride))
+			var mask []bool
+			if r.Intn(3) == 0 {
+				mask = make([]bool, ln)
+				consumed := 0
+				for j := range mask {
+					mask[j] = r.Intn(4) != 0
+					if mask[j] {
+						consumed++
+					}
+				}
+				_ = consumed
+			}
+			seq.Add(isa.NewPrefetchMasked(isa.Addr{Space: isa.Global, Word: base}, ln, stride, mask))
+			seq.Add(isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: base}, ln, stride, f, true))
+			flops += int64(ln * f)
+		case 3: // cluster vector traffic
+			ln := 1 + r.Intn(64)
+			f := r.Intn(2)
+			base := uint64(r.Intn(2048))
+			seq.Add(isa.NewVectorLoad(isa.Addr{Space: isa.Cluster, Word: base}, ln, 1, f, false))
+			flops += int64(ln * f)
+		case 4: // stores
+			ln := 1 + r.Intn(32)
+			space := isa.Cluster
+			if r.Intn(2) == 0 {
+				space = isa.Global
+			}
+			base := uint64(r.Intn(int(gWords) - ln))
+			seq.Add(isa.NewVectorStore(isa.Addr{Space: space, Word: base}, ln, 1, 0))
+		case 5: // scalar
+			addr := isa.Addr{Space: isa.Global, Word: uint64(r.Intn(int(gWords)))}
+			if r.Intn(2) == 0 {
+				seq.Add(isa.NewScalarLoad(addr))
+			} else {
+				seq.Add(isa.NewScalarStore(addr))
+			}
+		case 6: // sync
+			seq.Add(isa.NewSync(syncAddr, network.FetchAndAdd(1)))
+		}
+	}
+	return seq, flops
+}
+
+// TestRandomProgramsTerminateDeterministically floods the machine with
+// random valid programs and checks the global invariants: the machine
+// quiesces, flop accounting matches the programs exactly, sync counters
+// reflect every operation, both networks conserve packets, and an
+// identical second run takes an identical number of cycles.
+func TestRandomProgramsTerminateDeterministically(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		run := func() (sim.Cycle, int64, int64) {
+			cfg := testConfig(2)
+			m := MustNew(cfg)
+			r := sim.NewRand(seed)
+			syncAddr := m.AllocGlobal(1)
+			var wantFlops int64
+			var syncOps int64
+			for id := 0; id < m.NumCEs(); id++ {
+				p, f := genProgram(r, uint64(m.Global.Words()/2), syncAddr)
+				wantFlops += f
+				m.Dispatch(id, p)
+			}
+			at, err := m.RunUntilIdle(5_000_000)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if m.Fwd.Injected != m.Fwd.Delivered || m.Rev.Injected != m.Rev.Delivered {
+				t.Fatalf("seed %d: packet conservation violated (%d/%d fwd, %d/%d rev)",
+					seed, m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
+			}
+			if got := m.TotalFlops(); got != wantFlops {
+				t.Fatalf("seed %d: flops %d, want %d", seed, got, wantFlops)
+			}
+			syncOps = m.Global.LoadInt(syncAddr)
+			return at, m.TotalFlops(), syncOps
+		}
+		a1, f1, s1 := run()
+		a2, f2, s2 := run()
+		if a1 != a2 || f1 != f2 || s1 != s2 {
+			t.Fatalf("seed %d: nondeterministic: (%d,%d,%d) vs (%d,%d,%d)",
+				seed, a1, f1, s1, a2, f2, s2)
+		}
+	}
+}
+
+// TestRandomProgramsOnScaledMachine repeats the soak on an 8-cluster
+// scaled configuration (3-stage networks are exercised via the PPT5
+// study; here the 64-CE, 64-module machine).
+func TestRandomProgramsOnScaledMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := ScaledConfig(8)
+	cfg.Global.Words = 1 << 16
+	m := MustNew(cfg)
+	r := sim.NewRand(99)
+	syncAddr := m.AllocGlobal(1)
+	var wantFlops int64
+	for id := 0; id < m.NumCEs(); id++ {
+		p, f := genProgram(r, uint64(m.Global.Words()/2), syncAddr)
+		wantFlops += f
+		m.Dispatch(id, p)
+	}
+	if _, err := m.RunUntilIdle(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalFlops(); got != wantFlops {
+		t.Fatalf("flops %d, want %d", got, wantFlops)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Utilization summarizes what the machine's units did over a time span —
+// the software side of the paper's performance-monitoring story.
+type Utilization struct {
+	Cycles sim.Cycle
+	// CEBusy is the mean fraction of cycles the CEs were neither idle
+	// nor stalled; CEStallMem/CEStallNet the mean stall fractions.
+	CEBusy, CEStallMem, CEStallNet float64
+	// ModuleBusy is the mean memory-module service utilization.
+	ModuleBusy float64
+	// FwdWords / RevWords are the words injected into each network.
+	FwdWords, RevWords int64
+	// Flops is the floating-point work performed.
+	Flops int64
+}
+
+// Utilization computes the report for the machine's lifetime so far.
+func (m *Machine) Utilization() Utilization {
+	u := Utilization{Cycles: m.Eng.Now(), Flops: m.TotalFlops()}
+	if u.Cycles == 0 {
+		return u
+	}
+	var idle, stallMem, stallNet int64
+	for _, c := range m.ces {
+		idle += c.IdleCycles
+		stallMem += c.StallMem
+		stallNet += c.StallNet
+	}
+	total := float64(int64(u.Cycles) * int64(len(m.ces)))
+	u.CEStallMem = float64(stallMem) / total
+	u.CEStallNet = float64(stallNet) / total
+	u.CEBusy = 1 - float64(idle)/total - u.CEStallMem - u.CEStallNet
+	if u.CEBusy < 0 {
+		u.CEBusy = 0
+	}
+	var busy int64
+	for i := 0; i < m.Global.Modules(); i++ {
+		busy += m.Global.Module(i).BusyCycles
+	}
+	u.ModuleBusy = float64(busy) / (float64(u.Cycles) * float64(m.Global.Modules()))
+	u.FwdWords = m.Fwd.WordsIn
+	u.RevWords = m.Rev.WordsIn
+	return u
+}
+
+// String renders the report.
+func (u Utilization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "over %d cycles (%.2f ms simulated):\n", u.Cycles, u.Cycles.Seconds()*1e3)
+	fmt.Fprintf(&b, "  CEs: %.0f%% busy, %.0f%% memory stall, %.0f%% network stall\n",
+		u.CEBusy*100, u.CEStallMem*100, u.CEStallNet*100)
+	fmt.Fprintf(&b, "  global memory modules: %.0f%% utilized\n", u.ModuleBusy*100)
+	fmt.Fprintf(&b, "  network words: %d forward, %d reverse\n", u.FwdWords, u.RevWords)
+	fmt.Fprintf(&b, "  flops: %d\n", u.Flops)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+// Package kernels implements the computational kernels the paper uses to
+// characterize the Cedar memory system (Section 4.1):
+//
+//   - RK: a rank-64 update of an n x n matrix, in the three versions of
+//     Table 1 (GM/no-pref, GM/pref, GM/cache);
+//   - VL: a vector load stream;
+//   - TM: a tridiagonal matrix-vector multiply;
+//   - CG: a conjugate-gradient solver on a 5-diagonal system, also used
+//     for the scalability study of Section 4.3.
+//
+// Every kernel computes real floating-point results (verifiable against a
+// direct serial reference) while its address streams drive the simulated
+// machine;
+// the returned Result carries both the numerical check value and the
+// performance metrics the paper reports.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/perfmon"
+	"repro/internal/sim"
+)
+
+// Mode selects the memory-system strategy of a kernel, matching the three
+// versions of Table 1.
+type Mode int
+
+// Kernel memory modes.
+const (
+	// GMNoPrefetch: all vector accesses go to global memory with no
+	// prefetching — throughput is bounded by the two outstanding
+	// requests per CE and the 13-cycle latency.
+	GMNoPrefetch Mode = iota
+	// GMPrefetch: identical access pattern, but every global vector
+	// operand is prefetched.
+	GMPrefetch
+	// GMCache: submatrix blocks are transferred to a cached work array
+	// in each cluster and all inner-loop vector accesses hit the cache.
+	GMCache
+)
+
+// String names the mode as in Table 1.
+func (m Mode) String() string {
+	switch m {
+	case GMNoPrefetch:
+		return "GM/no-pref"
+	case GMPrefetch:
+		return "GM/pref"
+	case GMCache:
+		return "GM/cache"
+	}
+	return "unknown"
+}
+
+// Result reports one kernel execution.
+type Result struct {
+	// Name identifies the kernel and variant.
+	Name string
+	// CEs is the processor count used.
+	CEs int
+	// Cycles is the elapsed simulated time.
+	Cycles sim.Cycle
+	// Flops is the floating-point operation count performed by the CEs.
+	Flops int64
+	// MFLOPS is the paper's rate metric.
+	MFLOPS float64
+	// Check is a kernel-specific numerical checksum for verification.
+	Check float64
+	// Latency and Interarrival are the Table 2 prefetch metrics in
+	// cycles (NaN when the kernel was run without a probe or without
+	// prefetching).
+	Latency      float64
+	Interarrival float64
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%-14s P=%-3d %8d cycles  %7.1f MFLOPS", r.Name, r.CEs, r.Cycles, r.MFLOPS)
+	if !math.IsNaN(r.Latency) {
+		s += fmt.Sprintf("  lat=%5.1f  ia=%4.2f", r.Latency, r.Interarrival)
+	}
+	return s
+}
+
+// finish assembles a Result from a completed run.
+func finish(name string, m *core.Machine, start, end sim.Cycle, check float64, probe *perfmon.PrefetchProbe) Result {
+	r := Result{
+		Name:         name,
+		CEs:          m.NumCEs(),
+		Cycles:       end - start,
+		Flops:        m.TotalFlops(),
+		Check:        check,
+		Latency:      math.NaN(),
+		Interarrival: math.NaN(),
+	}
+	r.MFLOPS = core.MFLOPS(r.Flops, r.Cycles)
+	if probe != nil && probe.Blocks() > 0 {
+		r.Latency = probe.MeanLatency()
+		r.Interarrival = probe.MeanInterarrival()
+	}
+	return r
+}
+
+// StripLen is the CE vector register length: kernels are strip-mined to
+// 32-word strips, as the Alliant vector unit's eight 32-word registers
+// dictate.
+const StripLen = 32

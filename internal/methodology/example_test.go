@@ -1,0 +1,39 @@
+package methodology_test
+
+import (
+	"fmt"
+
+	"repro/internal/methodology"
+)
+
+// ExampleClassify shows the paper's performance bands for a 32-processor
+// system: speedup above P/2 is high, above P/(2 log P) intermediate.
+func ExampleClassify() {
+	for _, eff := range []float64{0.62, 0.25, 0.05} {
+		fmt.Println(methodology.Classify(eff, 32))
+	}
+	// Output:
+	// H
+	// I
+	// U
+}
+
+// ExampleInstability computes In(K, e) for a small ensemble: excluding
+// the outliers tightens the band.
+func ExampleInstability() {
+	rates := []float64{0.5, 3, 6, 9, 12, 31}
+	fmt.Printf("In(6,0) = %.0f\n", methodology.Instability(rates, 0))
+	fmt.Printf("In(6,2) = %.0f\n", methodology.Instability(rates, 2))
+	// Output:
+	// In(6,0) = 62
+	// In(6,2) = 4
+}
+
+// ExamplePPT2 judges a machine's stability the way Table 5 does.
+func ExamplePPT2() {
+	cedarLike := []float64{0.5, 3.1, 6.9, 8.2, 9.2, 11.2, 11.9, 13.1, 18.9, 20.5, 31.7}
+	rep := methodology.PPT2(cedarLike, 5)
+	fmt.Printf("exceptions needed: %d, pass: %v\n", rep.ExceptionsNeeded, rep.Pass)
+	// Output:
+	// exceptions needed: 2, pass: true
+}

@@ -1,0 +1,332 @@
+// Package methodology implements the performance-evaluation methodology
+// of Section 4.3: the Fundamental Principle of Parallel Processing's
+// five Practical Parallelism Tests (PPTs), the speedup/efficiency/
+// stability metrics, and the acceptable-performance bands.
+//
+// The paper proposes P/2 and P/(2 log P) as the speedup levels denoting
+// high and acceptable performance for P >= 8, classifying results into
+// high, intermediate and unacceptable bands; defines the stability of an
+// ensemble of K codes as min performance over max performance with e
+// outliers excluded; and judges systems by whether a small number of
+// exceptions reaches the workstation-level instability of about 5.
+package methodology
+
+import (
+	"math"
+	"sort"
+)
+
+// Band is a performance classification.
+type Band int
+
+// The three bands of Figure 3 and Table 6.
+const (
+	Unacceptable Band = iota
+	Intermediate
+	High
+)
+
+// String names the band as the figure's legend does.
+func (b Band) String() string {
+	switch b {
+	case Unacceptable:
+		return "U"
+	case Intermediate:
+		return "I"
+	case High:
+		return "H"
+	}
+	return "?"
+}
+
+// HighEfficiency is the efficiency corresponding to a speedup of P/2.
+const HighEfficiency = 0.5
+
+// AcceptableEfficiency returns the efficiency corresponding to a speedup
+// of P / (2 log2 P), the paper's acceptable-performance level for P >= 8.
+func AcceptableEfficiency(p int) float64 {
+	if p < 2 {
+		return HighEfficiency
+	}
+	return 1 / (2 * math.Log2(float64(p)))
+}
+
+// Classify places an efficiency into its band for a P-processor system.
+func Classify(eff float64, p int) Band {
+	switch {
+	case eff > HighEfficiency:
+		return High
+	case eff > AcceptableEfficiency(p):
+		return Intermediate
+	default:
+		return Unacceptable
+	}
+}
+
+// CountBands tallies a set of efficiencies (the Table 6 computation).
+func CountBands(effs []float64, p int) (high, intermediate, unacceptable int) {
+	for _, e := range effs {
+		switch Classify(e, p) {
+		case High:
+			high++
+		case Intermediate:
+			intermediate++
+		default:
+			unacceptable++
+		}
+	}
+	return
+}
+
+// Speedup is serial time over parallel time.
+func Speedup(tSerial, tParallel float64) float64 {
+	if tParallel <= 0 {
+		return 0
+	}
+	return tSerial / tParallel
+}
+
+// Efficiency is speedup over processor count.
+func Efficiency(speedup float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return speedup / float64(p)
+}
+
+// HarmonicMean returns the harmonic mean of positive rates, the paper's
+// aggregate for MFLOPS comparisons.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Stability computes St(K, e): the minimum over maximum performance of
+// the ensemble after excluding e computations whose results are outliers.
+// Outliers may come from either end of the distribution; the split that
+// maximizes stability is chosen, matching the paper's intent of
+// excluding whichever results are outliers from the ensemble.
+func Stability(rates []float64, e int) float64 {
+	k := len(rates)
+	if k == 0 || e >= k {
+		return math.NaN()
+	}
+	s := make([]float64, k)
+	copy(s, rates)
+	sort.Float64s(s)
+	best := 0.0
+	for lo := 0; lo <= e; lo++ {
+		hi := e - lo
+		mn, mx := s[lo], s[k-1-hi]
+		if mx <= 0 {
+			continue
+		}
+		if st := mn / mx; st > best {
+			best = st
+		}
+	}
+	return best
+}
+
+// Instability is the inverse of stability: In(K, e) = 1 / St(K, e).
+func Instability(rates []float64, e int) float64 {
+	st := Stability(rates, e)
+	if st <= 0 || math.IsNaN(st) {
+		return math.Inf(1)
+	}
+	return 1 / st
+}
+
+// ExceptionsForStability returns the smallest e for which the ensemble's
+// instability is at or below the threshold (the workstation level of ~5
+// in the paper), or -1 if no number of exceptions short of emptying the
+// ensemble suffices.
+func ExceptionsForStability(rates []float64, threshold float64) int {
+	for e := 0; e < len(rates); e++ {
+		if Instability(rates, e) <= threshold {
+			return e
+		}
+	}
+	return -1
+}
+
+// Point is one code's result on one machine, for PPT evaluation and the
+// Figure 3 scatter.
+type Point struct {
+	Name       string
+	Efficiency float64
+}
+
+// PPT1Report is the Delivered Performance test: the system delivers
+// speedup or computational rate for a useful set of codes.
+type PPT1Report struct {
+	High, Intermediate, Unacceptable int
+	// Pass holds when at least three quarters of the codes reach the
+	// intermediate band or better — "delivering intermediate parallel
+	// performance on the average".
+	Pass bool
+}
+
+// PPT1 evaluates Delivered Performance over a machine's points.
+func PPT1(points []Point, p int) PPT1Report {
+	var effs []float64
+	for _, pt := range points {
+		effs = append(effs, pt.Efficiency)
+	}
+	h, i, u := CountBands(effs, p)
+	total := h + i + u
+	return PPT1Report{High: h, Intermediate: i, Unacceptable: u,
+		Pass: total > 0 && float64(h+i) >= 0.75*float64(total)}
+}
+
+// PPT2Report is the Stable Performance test: performance within a
+// stability range as computations vary.
+type PPT2Report struct {
+	// Instabilities at e = 0, 2 and 6 exclusions (the Table 5 columns).
+	In0, In2, In6 float64
+	// ExceptionsNeeded is the smallest e reaching workstation-level
+	// stability (instability <= 5).
+	ExceptionsNeeded int
+	// Pass holds when that e is at most a quarter of the ensemble —
+	// the paper passes Cedar and the Cray-1 with two exceptions of
+	// thirteen codes and fails the YMP, which needs six ("about half
+	// of the Perfect codes").
+	Pass bool
+}
+
+// PPT2 evaluates Stable Performance over a rate ensemble.
+func PPT2(rates []float64, stabilityThreshold float64) PPT2Report {
+	e := ExceptionsForStability(rates, stabilityThreshold)
+	return PPT2Report{
+		In0:              Instability(rates, 0),
+		In2:              Instability(rates, 2),
+		In6:              Instability(rates, 6),
+		ExceptionsNeeded: e,
+		Pass:             e >= 0 && float64(e) <= float64(len(rates))/4,
+	}
+}
+
+// PPT3Report is the Portability and Programmability test, judged through
+// the performance levels compilers (or automatable restructuring) reach.
+type PPT3Report struct {
+	High, Intermediate, Unacceptable int
+	// NearlyAcceptable holds when a majority of codes reach the
+	// intermediate band under automatic or automatable restructuring —
+	// the paper's basis for expecting PPT3 to be passed in the near
+	// future.
+	NearlyAcceptable bool
+}
+
+// PPT3 evaluates restructuring efficiency (the Table 6 computation).
+func PPT3(points []Point, p int) PPT3Report {
+	var effs []float64
+	for _, pt := range points {
+		effs = append(effs, pt.Efficiency)
+	}
+	h, i, u := CountBands(effs, p)
+	return PPT3Report{High: h, Intermediate: i, Unacceptable: u,
+		NearlyAcceptable: h+i > u}
+}
+
+// ScalPoint is one scalability measurement: a processor count, problem
+// size and delivered efficiency.
+type ScalPoint struct {
+	P          int
+	N          int
+	MFLOPS     float64
+	Efficiency float64
+}
+
+// PPT4Report is the Code and Architecture Scalability test over a range
+// of processor counts and problem sizes. A system is scalable at a
+// performance level when every measured processor count reaches that
+// level for some problem sizes, and — at fixed P, the paper's
+// St(P, N, 1, 0) — the delivered rate is stable (St >= 0.5) across the
+// sizes where the level holds.
+type PPT4Report struct {
+	// HighRange / IntermediateRange are the problem-size ranges
+	// [MinN, MaxN] over which each band was observed (at any P).
+	HighRange, IntermediateRange [2]int
+	// MinRateStability is the worst per-P rate stability over the
+	// dominant band's points; the acceptance criterion is
+	// 0.5 <= St <= 1.
+	MinRateStability float64
+	// ScalableHigh / ScalableIntermediate report the verdicts the paper
+	// issues ("Cedar is scalable with high performance for many problem
+	// sizes...", "CM-5 is scalable with intermediate performance").
+	ScalableHigh         bool
+	ScalableIntermediate bool
+}
+
+// PPT4 evaluates scalability over a measurement grid.
+func PPT4(points []ScalPoint) PPT4Report {
+	rep := PPT4Report{
+		HighRange:         [2]int{math.MaxInt32, -1},
+		IntermediateRange: [2]int{math.MaxInt32, -1},
+		MinRateStability:  math.NaN(),
+	}
+	ps := map[int]bool{}
+	highByP := map[int][]float64{}
+	okByP := map[int][]float64{} // intermediate or better
+	for _, pt := range points {
+		ps[pt.P] = true
+		switch Classify(pt.Efficiency, pt.P) {
+		case High:
+			if pt.N < rep.HighRange[0] {
+				rep.HighRange[0] = pt.N
+			}
+			if pt.N > rep.HighRange[1] {
+				rep.HighRange[1] = pt.N
+			}
+			highByP[pt.P] = append(highByP[pt.P], pt.MFLOPS)
+			okByP[pt.P] = append(okByP[pt.P], pt.MFLOPS)
+		case Intermediate:
+			if pt.N < rep.IntermediateRange[0] {
+				rep.IntermediateRange[0] = pt.N
+			}
+			if pt.N > rep.IntermediateRange[1] {
+				rep.IntermediateRange[1] = pt.N
+			}
+			okByP[pt.P] = append(okByP[pt.P], pt.MFLOPS)
+		}
+	}
+	if len(ps) == 0 {
+		return rep
+	}
+	// A band scales when every P reaches it somewhere and the per-P
+	// rates within it are stable.
+	verdict := func(byP map[int][]float64) (bool, float64) {
+		worst := 1.0
+		for p := range ps {
+			rates := byP[p]
+			if len(rates) == 0 {
+				return false, math.NaN()
+			}
+			if len(rates) >= 2 {
+				if st := Stability(rates, 0); st < worst {
+					worst = st
+				}
+			}
+		}
+		return worst >= 0.5, worst
+	}
+	var stHigh, stOK float64
+	rep.ScalableHigh, stHigh = verdict(highByP)
+	rep.ScalableIntermediate, stOK = verdict(okByP)
+	switch {
+	case rep.ScalableHigh:
+		rep.MinRateStability = stHigh
+	default:
+		rep.MinRateStability = stOK
+	}
+	return rep
+}

@@ -1,0 +1,447 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultQueueWords is the per-port queue capacity of a Cedar network
+// switch: two 64-bit words, as built.
+const DefaultQueueWords = 2
+
+// pktQueue is a FIFO of packets with capacity counted in words.
+// An empty queue always accepts one packet even if the packet is longer
+// than the capacity (word-level wormhole flow in the real switch lets a
+// long packet stream through a short queue); a non-empty queue accepts
+// only what fits.
+type pktQueue struct {
+	capWords int
+	words    int
+	pkts     []*Packet
+}
+
+func (q *pktQueue) canAccept(w int) bool {
+	return len(q.pkts) == 0 || q.words+w <= q.capWords
+}
+
+// agePenalty returns the extra handshake cycle a transfer costs when the
+// departing packet had to sit in this queue behind congestion. A smooth
+// pipelined stream moves every packet one hop per cycle (preserving the
+// 1-cycle minimal interarrival); once queues back up, each restarted
+// transfer pays an arbitration/handshake cycle, dropping the effective
+// port rate toward half — the "specific implementation constraints"
+// [Turn93] the paper identifies as the cause of the latency and
+// interarrival degradation beyond two clusters.
+func (q *pktQueue) agePenalty(p *Packet, now sim.Cycle) sim.Cycle {
+	if now-p.enq >= 2 {
+		return 1
+	}
+	return 0
+}
+
+func (q *pktQueue) push(p *Packet, now sim.Cycle) {
+	p.enq = now
+	q.pkts = append(q.pkts, p)
+	q.words += p.Words
+}
+
+func (q *pktQueue) head() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}
+
+func (q *pktQueue) pop() *Packet {
+	p := q.pkts[0]
+	copy(q.pkts, q.pkts[1:])
+	q.pkts = q.pkts[:len(q.pkts)-1]
+	q.words -= p.Words
+	return p
+}
+
+// crossbar is one r x r switch: r input queues, r output queues,
+// round-robin arbitration per output, one packet transfer per output per
+// cycle at one word per cycle. inPkts/outPkts counters let the network
+// skip idle switches.
+type crossbar struct {
+	radix     int
+	in        []pktQueue
+	out       []pktQueue
+	rr        []int       // round-robin arbitration pointer per output
+	outFreeAt []sim.Cycle // internal transfer path busy-until, per output
+	inPkts    int
+	outPkts   int
+}
+
+func newCrossbar(radix, queueWords int) *crossbar {
+	x := &crossbar{
+		radix:     radix,
+		in:        make([]pktQueue, radix),
+		out:       make([]pktQueue, radix),
+		rr:        make([]int, radix),
+		outFreeAt: make([]sim.Cycle, radix),
+	}
+	for i := range x.in {
+		x.in[i].capWords = queueWords
+		x.out[i].capWords = queueWords
+	}
+	return x
+}
+
+// route moves packets from input queues to output queues according to the
+// routing digit extracted by shift/radix. Each output accepts at most one
+// packet per transfer slot; blocked heads cause head-of-line blocking,
+// which is how contention propagates upstream in the real switch.
+func (x *crossbar) route(now sim.Cycle, shift int) {
+	if x.inPkts == 0 {
+		return
+	}
+	// One pass over inputs: which output does each head want?
+	var wantMask uint32 // outputs with at least one claimant
+	var claim [16]uint16
+	for i := 0; i < x.radix; i++ {
+		p := x.in[i].head()
+		if p == nil {
+			continue
+		}
+		d := (p.Dst / shift) % x.radix
+		claim[d] |= 1 << uint(i)
+		wantMask |= 1 << uint(d)
+	}
+	for o := 0; o < x.radix; o++ {
+		if wantMask&(1<<uint(o)) == 0 || x.outFreeAt[o] > now {
+			continue
+		}
+		// Round-robin over claimants of output o.
+		for k := 0; k < x.radix; k++ {
+			i := (x.rr[o] + k) % x.radix
+			if claim[o]&(1<<uint(i)) == 0 {
+				continue
+			}
+			p := x.in[i].head()
+			if !x.out[o].canAccept(p.Words) {
+				break // output full: everyone wanting o stalls
+			}
+			x.out[o].push(x.in[i].pop(), now)
+			x.inPkts--
+			x.outPkts++
+			x.outFreeAt[o] = now + sim.Cycle(p.Words) + x.in[i].agePenalty(p, now)
+			x.rr[o] = (i + 1) % x.radix
+			break
+		}
+	}
+}
+
+// Network is a k-stage omega network of r x r crossbars with N = r^k
+// ports, tag-routed most-significant-digit first, with an r-ary perfect
+// shuffle wiring before every stage (Lawrie's shuffle-exchange topology).
+type Network struct {
+	name       string
+	ports      int
+	radix      int
+	stages     int
+	queueWords int
+
+	sw [][]*crossbar // [stage][switch]
+
+	// digitShift[s] = radix^(stages-1-s): the divisor extracting the
+	// routing digit used at stage s.
+	digitShift []int
+
+	// entry is the per-input-port register stage between a source and the
+	// first switch column; it costs one cycle, so a k-stage network has a
+	// k+1 cycle unloaded transit (3 cycles for Cedar's 2-stage networks,
+	// composing with the 2-cycle memory pipeline to the paper's 8-cycle
+	// minimal round-trip latency).
+	entry      []pktQueue
+	entryFree  []sim.Cycle
+	entryCount int
+
+	sinks       []Sink
+	linkFreeAt  [][]sim.Cycle // inter-stage link busy, [stage][outPort]
+	deliverFree []sim.Cycle
+
+	// ideal selects the contentionless fabric of NewIdeal; idealFlight
+	// holds its in-flight packets.
+	ideal       bool
+	idealFlight []idealPkt
+
+	// OnDeliver, if non-nil, observes every packet as it leaves the
+	// network, for performance monitoring.
+	OnDeliver func(now sim.Cycle, port int, p *Packet)
+
+	// Counters.
+	Injected  int64
+	Delivered int64
+	WordsIn   int64
+	Rejected  int64 // injection attempts refused by a full entry queue
+}
+
+// New builds an omega network with the given number of ports. ports must
+// be a power of radix and radix must be at least 2 (and at most 16).
+// queueWords <= 0 selects DefaultQueueWords.
+func New(name string, ports, radix, queueWords int) (*Network, error) {
+	if radix < 2 || radix > 16 {
+		return nil, fmt.Errorf("network %s: radix %d outside 2..16", name, radix)
+	}
+	stages := 0
+	for n := 1; n < ports; n *= radix {
+		stages++
+		if stages > 16 {
+			break
+		}
+	}
+	if pow(radix, stages) != ports || ports < radix {
+		return nil, fmt.Errorf("network %s: ports %d is not a power of radix %d", name, ports, radix)
+	}
+	if queueWords <= 0 {
+		queueWords = DefaultQueueWords
+	}
+	n := &Network{
+		name:        name,
+		ports:       ports,
+		radix:       radix,
+		stages:      stages,
+		queueWords:  queueWords,
+		sinks:       make([]Sink, ports),
+		entry:       make([]pktQueue, ports),
+		entryFree:   make([]sim.Cycle, ports),
+		deliverFree: make([]sim.Cycle, ports),
+	}
+	for i := range n.entry {
+		n.entry[i].capWords = queueWords
+	}
+	n.sw = make([][]*crossbar, stages)
+	n.linkFreeAt = make([][]sim.Cycle, stages)
+	n.digitShift = make([]int, stages)
+	for s := 0; s < stages; s++ {
+		row := make([]*crossbar, ports/radix)
+		for j := range row {
+			row[j] = newCrossbar(radix, queueWords)
+		}
+		n.sw[s] = row
+		n.linkFreeAt[s] = make([]sim.Cycle, ports)
+		n.digitShift[s] = pow(radix, stages-1-s)
+	}
+	return n, nil
+}
+
+// MustNew is New, panicking on configuration errors. Intended for the
+// fixed machine-assembly code paths where the configuration is validated
+// at machine construction.
+func MustNew(name string, ports, radix, queueWords int) *Network {
+	n, err := New(name, ports, radix, queueWords)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// Ports returns the number of input (and output) ports.
+func (n *Network) Ports() int { return n.ports }
+
+// Stages returns the number of switch stages.
+func (n *Network) Stages() int { return n.stages }
+
+// Radix returns the switch radix.
+func (n *Network) Radix() int { return n.radix }
+
+// Name returns the network's name ("forward" or "reverse" in a Cedar).
+func (n *Network) Name() string { return n.name }
+
+// shuffle is the r-ary perfect shuffle on ports: a left rotation of the
+// base-r digit string of i.
+func (n *Network) shuffle(i int) int {
+	return (i*n.radix)%n.ports + (i*n.radix)/n.ports
+}
+
+// digitAt extracts the routing digit used at stage s: destination digits
+// most-significant first.
+func (n *Network) digitAt(s, dst int) int {
+	return (dst / n.digitShift[s]) % n.radix
+}
+
+// SetSink attaches the consumer of packets delivered at output port p.
+func (n *Network) SetSink(p int, s Sink) {
+	n.sinks[p] = s
+}
+
+// Offer injects a packet at input port src. It returns false when the
+// first-stage input queue cannot accept the packet this cycle; the source
+// must retry (this is how backpressure reaches the processors).
+func (n *Network) Offer(now sim.Cycle, src int, p *Packet) bool {
+	if p.Dst < 0 || p.Dst >= n.ports {
+		panic(fmt.Sprintf("network %s: packet destination %d out of range [0,%d)", n.name, p.Dst, n.ports))
+	}
+	if p.Words < 1 || p.Words > 4 {
+		panic(fmt.Sprintf("network %s: packet of %d words (must be 1..4)", n.name, p.Words))
+	}
+	if n.ideal {
+		return n.offerIdeal(now, src, p)
+	}
+	q := &n.entry[src]
+	if !q.canAccept(p.Words) {
+		n.Rejected++
+		return false
+	}
+	if p.Born == 0 {
+		// Stamp the injection time once; replies keep the original
+		// request's stamp so round-trip latency can be measured at the
+		// reverse network's delivery.
+		p.Born = now
+	}
+	q.push(p, now)
+	n.entryCount++
+	n.Injected++
+	n.WordsIn += int64(p.Words)
+	return true
+}
+
+// Tick advances the network one cycle: deliver from the last stage,
+// advance inter-stage links, route inside each crossbar, then drain the
+// entry registers — processed downstream-first so a packet advances at
+// most one stage per cycle while freed space propagates upstream
+// immediately.
+func (n *Network) Tick(now sim.Cycle) {
+	if n.ideal {
+		n.tickIdeal(now)
+		return
+	}
+	last := n.stages - 1
+	r := n.radix
+	// Delivery links: last-stage output queues to sinks.
+	for swi, x := range n.sw[last] {
+		if x.outPkts == 0 {
+			continue
+		}
+		base := swi * r
+		for o := 0; o < r; o++ {
+			port := base + o
+			if n.deliverFree[port] > now {
+				continue
+			}
+			p := x.out[o].head()
+			if p == nil {
+				continue
+			}
+			sink := n.sinks[port]
+			if sink == nil {
+				panic(fmt.Sprintf("network %s: delivery to port %d with no sink", n.name, port))
+			}
+			if !sink.Offer(p) {
+				continue
+			}
+			x.out[o].pop()
+			x.outPkts--
+			n.deliverFree[port] = now + sim.Cycle(p.Words) + x.out[o].agePenalty(p, now)
+			n.Delivered++
+			if n.OnDeliver != nil {
+				n.OnDeliver(now, port, p)
+			}
+		}
+	}
+	// Inter-stage links: stage s-1 outputs to stage s inputs through the
+	// shuffle wiring, one word per cycle per link.
+	for s := last; s >= 1; s-- {
+		free := n.linkFreeAt[s-1]
+		for swi, x := range n.sw[s-1] {
+			if x.outPkts == 0 {
+				continue
+			}
+			base := swi * r
+			for o := 0; o < r; o++ {
+				port := base + o
+				if free[port] > now {
+					continue
+				}
+				p := x.out[o].head()
+				if p == nil {
+					continue
+				}
+				wired := n.shuffle(port)
+				dx := n.sw[s][wired/r]
+				dq := &dx.in[wired%r]
+				if !dq.canAccept(p.Words) {
+					continue
+				}
+				dq.push(x.out[o].pop(), now)
+				x.outPkts--
+				dx.inPkts++
+				free[port] = now + sim.Cycle(p.Words) + x.out[o].agePenalty(p, now)
+			}
+		}
+	}
+	// Crossbar internal routing, downstream stages first.
+	for s := last; s >= 0; s-- {
+		shift := n.digitShift[s]
+		for _, x := range n.sw[s] {
+			x.route(now, shift)
+		}
+	}
+	// Entry registers feed the first switch column through the shuffle
+	// wiring, one word per cycle per port. Processed last so an injected
+	// packet is routed no earlier than the following cycle.
+	if n.entryCount > 0 {
+		for port := 0; port < n.ports; port++ {
+			if n.entryFree[port] > now {
+				continue
+			}
+			p := n.entry[port].head()
+			if p == nil {
+				continue
+			}
+			wired := n.shuffle(port)
+			dx := n.sw[0][wired/r]
+			dq := &dx.in[wired%r]
+			if !dq.canAccept(p.Words) {
+				continue
+			}
+			dq.push(n.entry[port].pop(), now)
+			n.entryCount--
+			dx.inPkts++
+			n.entryFree[port] = now + sim.Cycle(p.Words) + n.entry[port].agePenalty(p, now)
+		}
+	}
+}
+
+// InFlight reports the number of packets currently buffered anywhere in
+// the network.
+func (n *Network) InFlight() int {
+	if n.ideal {
+		return len(n.idealFlight)
+	}
+	total := n.entryCount
+	for _, row := range n.sw {
+		for _, x := range row {
+			total += x.inPkts + x.outPkts
+		}
+	}
+	return total
+}
+
+// StaticRoute returns the sequence of output ports visited by a packet
+// from src to dst, without simulating. It exists for tests and for
+// topology introspection: the omega tag-routing scheme gives a unique
+// path for every (src, dst) pair.
+func (n *Network) StaticRoute(src, dst int) []int {
+	path := make([]int, 0, n.stages)
+	at := src
+	for s := 0; s < n.stages; s++ {
+		at = n.shuffle(at)
+		sw := at / n.radix
+		out := sw*n.radix + n.digitAt(s, dst)
+		path = append(path, out)
+		at = out
+	}
+	return path
+}

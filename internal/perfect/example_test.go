@@ -1,0 +1,23 @@
+package perfect_test
+
+import (
+	"fmt"
+
+	"repro/internal/perfect"
+)
+
+// Example evaluates one Perfect code's variants under the default
+// machine rates: the calibrated model reproduces Table 3's row and the
+// hand-optimization mechanisms predict Table 4.
+func Example() {
+	suite := perfect.MustSuite()
+	trfd := perfect.ByName(suite, "TRFD")
+	r := perfect.DefaultRates()
+	auto, _ := trfd.Time(perfect.Auto, r)
+	hand, _ := trfd.Time(perfect.Hand, r)
+	fmt.Printf("TRFD automatable: %.0f s (paper 21)\n", auto)
+	fmt.Printf("TRFD hand-optimized: %.1f s (paper 7.5)\n", hand)
+	// Output:
+	// TRFD automatable: 21 s (paper 21)
+	// TRFD hand-optimized: 7.7 s (paper 7.5)
+}

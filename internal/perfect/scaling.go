@@ -1,0 +1,58 @@
+package perfect
+
+import "math"
+
+// Data-size scaling. The paper notes that "the Perfect codes have
+// relatively small data sizes and stability is a measure that can focus
+// us on the class of codes that are well matched to the system, so
+// varying the data size and observing stability would be instructive."
+// TimeScaled models that experiment: floating-point work, iteration
+// counts and I/O scale with the problem size while per-invocation
+// overheads (loop startup, barriers) do not, so small problems are
+// overhead-dominated and rates scatter, while large problems converge
+// toward the machine's streaming rates.
+
+// TimeScaled returns the modeled execution time of a variant with the
+// problem's data size scaled by k (k = 1 reproduces Time; k > 1 grows
+// the problem). Only the Auto-family variants scale (KAP and Serial
+// would need their own overhead decomposition); ErrNoVariant is returned
+// otherwise.
+func (p *Profile) TimeScaled(v Variant, r Rates, k float64) (float64, error) {
+	if k <= 0 {
+		k = 1
+	}
+	if v != Auto && v != AutoNoSync && v != AutoNoPref {
+		return 0, ErrNoVariant
+	}
+	if p.Targets.AutoSeconds <= 0 {
+		return 0, ErrNoVariant
+	}
+	// Scale the size-dependent quantities, evaluate, restore. Parallel
+	// work, iteration counts and I/O scale linearly; the serial residual
+	// (setup-flavored) scales as sqrt(k); loop invocations and barriers
+	// are structural and do not scale.
+	saveM, saveG, saveC := p.Mflop, p.GlobalVectorMflop, p.Claims
+	saveIOf, saveIOr, saveTs := p.IOFormattedWords, p.IORawWords, p.SerialSeconds
+	p.Mflop *= k
+	p.GlobalVectorMflop *= k
+	p.Claims *= k
+	p.IOFormattedWords *= k
+	p.IORawWords *= k
+	p.SerialSeconds *= math.Sqrt(k)
+	t, err := p.Time(v, r)
+	p.Mflop, p.GlobalVectorMflop, p.Claims = saveM, saveG, saveC
+	p.IOFormattedWords, p.IORawWords, p.SerialSeconds = saveIOf, saveIOr, saveTs
+	return t, err
+}
+
+// MFLOPSScaled returns the delivered rate at scale k.
+func (p *Profile) MFLOPSScaled(v Variant, r Rates, k float64) (float64, error) {
+	if k <= 0 {
+		k = 1
+	}
+	t, err := p.TimeScaled(v, r, k)
+	if err != nil {
+		return 0, err
+	}
+	return k * p.Mflop / t, nil
+}

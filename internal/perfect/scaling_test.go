@@ -1,0 +1,104 @@
+package perfect
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTimeScaledIdentity(t *testing.T) {
+	r := DefaultRates()
+	for _, p := range suite(t) {
+		if p.Targets.AutoSeconds <= 0 {
+			continue
+		}
+		base, err := p.Time(Auto, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := p.TimeScaled(Auto, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base != scaled {
+			t.Fatalf("%s: TimeScaled(1) = %g != Time %g", p.Name, scaled, base)
+		}
+		// State restored after scaling.
+		again, _ := p.Time(Auto, r)
+		if again != base {
+			t.Fatalf("%s: scaling mutated the profile (%g vs %g)", p.Name, again, base)
+		}
+	}
+}
+
+func TestScaledRatesImproveWithSize(t *testing.T) {
+	r := DefaultRates()
+	for _, p := range suite(t) {
+		if p.Targets.AutoSeconds <= 0 {
+			continue
+		}
+		small, err := p.MFLOPSScaled(Auto, r, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := p.MFLOPSScaled(Auto, r, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big <= small {
+			t.Fatalf("%s: rate fell with size (%g -> %g)", p.Name, small, big)
+		}
+	}
+}
+
+func TestScaledVariantRestrictions(t *testing.T) {
+	r := DefaultRates()
+	s := suite(t)
+	adm := ByName(s, "ADM")
+	if _, err := adm.TimeScaled(KAP, r, 2); !errors.Is(err, ErrNoVariant) {
+		t.Fatal("KAP should not scale")
+	}
+	if _, err := adm.TimeScaled(Serial, r, 2); !errors.Is(err, ErrNoVariant) {
+		t.Fatal("Serial should not scale")
+	}
+	spice := ByName(s, "SPICE")
+	if _, err := spice.TimeScaled(Auto, r, 2); !errors.Is(err, ErrNoVariant) {
+		t.Fatal("SPICE has no automatable variant to scale")
+	}
+	// k <= 0 falls back to 1.
+	a, _ := adm.TimeScaled(Auto, r, 0)
+	b, _ := adm.Time(Auto, r)
+	if a != b {
+		t.Fatal("k=0 not treated as identity")
+	}
+	if _, err := adm.MFLOPSScaled(Auto, r, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaledNoSyncGapPersists: claims scale with iterations, so the
+// no-sync penalty does not vanish with problem size — unlike fixed
+// startup overhead, it is per-iteration work. (It in fact grows as a
+// fraction, because the sub-linear serial residual stops diluting it.)
+func TestScaledNoSyncGapPersists(t *testing.T) {
+	r := DefaultRates()
+	ocean := ByName(suite(t), "OCEAN")
+	var fracs []float64
+	for _, k := range []float64{1, 8} {
+		auto, err := ocean.TimeScaled(Auto, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := ocean.TimeScaled(AutoNoSync, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracs = append(fracs, (ns-auto)/auto)
+	}
+	if fracs[0] < 0.1 || fracs[0] > 0.3 {
+		t.Fatalf("OCEAN no-sync fraction at 1x = %.2f, want ~0.18", fracs[0])
+	}
+	if fracs[1] < fracs[0] {
+		t.Fatalf("no-sync fraction shrank with size (%.2f -> %.2f); claims are per-iteration",
+			fracs[0], fracs[1])
+	}
+}

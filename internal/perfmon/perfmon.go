@@ -1,0 +1,204 @@
+// Package perfmon models Cedar's external performance-monitoring
+// hardware: event tracers that collect time-stamped event traces (1M
+// events each) and histogrammers with 64K 32-bit counters, attachable to
+// hardware signals anywhere in the machine. Software can also post events
+// from running programs.
+//
+// The package also provides the probe used for Table 2 of the paper: for
+// every prefetch request it records when the address is issued to the
+// forward network and when each datum returns to the prefetch buffer,
+// yielding first-word Latency and Interarrival time between the remaining
+// words of the block, in instruction cycles.
+package perfmon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// TracerCapacity is the hardware event-trace depth.
+const TracerCapacity = 1 << 20
+
+// HistogramCounters is the hardware histogrammer counter count.
+const HistogramCounters = 64 << 10
+
+// Event is one time-stamped trace entry.
+type Event struct {
+	Cycle sim.Cycle
+	Kind  uint16
+	Arg   int64
+}
+
+// Tracer collects time-stamped events up to its capacity; further events
+// are counted as dropped (the hardware can cascade tracers to capture
+// more; model that by raising the capacity).
+type Tracer struct {
+	cap     int
+	Events  []Event
+	Dropped int64
+}
+
+// NewTracer returns a tracer with the given capacity (<= 0 selects the
+// hardware's 1M).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = TracerCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Post records an event if capacity remains.
+func (t *Tracer) Post(cycle sim.Cycle, kind uint16, arg int64) {
+	if len(t.Events) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, Event{Cycle: cycle, Kind: kind, Arg: arg})
+}
+
+// Len reports the number of captured events.
+func (t *Tracer) Len() int { return len(t.Events) }
+
+// Histogram is a bank of counters over a fixed value range; values
+// outside the range land in the first or last bin.
+type Histogram struct {
+	min, max int64
+	bins     []uint32
+	n        int64
+	sum      float64
+}
+
+// NewHistogram returns a histogram of [min, max] with the given bin count
+// (<= 0 selects the hardware's 64K counters).
+func NewHistogram(min, max int64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = HistogramCounters
+	}
+	if max <= min {
+		panic(fmt.Sprintf("perfmon: histogram range [%d,%d]", min, max))
+	}
+	return &Histogram{min: min, max: max, bins: make([]uint32, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	i := int64(len(h.bins)) * (v - h.min) / (h.max - h.min + 1)
+	if i < 0 {
+		i = 0
+	}
+	if i >= int64(len(h.bins)) {
+		i = int64(len(h.bins)) - 1
+	}
+	h.bins[i]++
+	h.n++
+	h.sum += float64(v)
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean reports the sample mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bin returns counter i.
+func (h *Histogram) Bin(i int) uint32 { return h.bins[i] }
+
+// Quantile returns an approximate q-quantile (bin lower edge), q in [0,1].
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return h.min
+	}
+	target := int64(q * float64(h.n))
+	var seen int64
+	for i, c := range h.bins {
+		seen += int64(c)
+		if seen > target {
+			return h.min + int64(i)*(h.max-h.min+1)/int64(len(h.bins))
+		}
+	}
+	return h.max
+}
+
+// PrefetchProbe measures a PFU the way the paper's monitor does: issue
+// and arrival times per request, first-word latency per prefetch block,
+// and interarrival gaps between the remaining words.
+type PrefetchProbe struct {
+	issueAt    []sim.Cycle
+	arrivals   []sim.Cycle
+	latencies  []sim.Cycle // first-word latency per block
+	gaps       []sim.Cycle // interarrival within blocks
+	blockStart bool
+}
+
+// AttachPrefetch instruments u; the probe replaces OnIssue/OnArrive.
+func AttachPrefetch(u *prefetch.PFU) *PrefetchProbe {
+	p := &PrefetchProbe{}
+	u.OnIssue = func(now sim.Cycle, seq int, addr uint64) {
+		if seq == 0 {
+			// New block.
+			p.issueAt = p.issueAt[:0]
+			p.arrivals = p.arrivals[:0]
+			p.blockStart = true
+		}
+		p.issueAt = append(p.issueAt, now)
+	}
+	u.OnArrive = func(now sim.Cycle, seq int) {
+		if p.blockStart {
+			// First datum of the block: latency from the block's first
+			// issue.
+			if len(p.issueAt) > 0 {
+				p.latencies = append(p.latencies, now-p.issueAt[0])
+			}
+			p.blockStart = false
+		} else if len(p.arrivals) > 0 {
+			p.gaps = append(p.gaps, now-p.arrivals[len(p.arrivals)-1])
+		}
+		p.arrivals = append(p.arrivals, now)
+	}
+	return p
+}
+
+// MeanLatency is the mean first-word latency over all blocks, in cycles.
+func (p *PrefetchProbe) MeanLatency() float64 { return meanCycles(p.latencies) }
+
+// MeanInterarrival is the mean gap between the remaining words of each
+// block, in cycles.
+func (p *PrefetchProbe) MeanInterarrival() float64 { return meanCycles(p.gaps) }
+
+// Blocks reports the number of completed first-word measurements.
+func (p *PrefetchProbe) Blocks() int { return len(p.latencies) }
+
+// Samples reports the number of interarrival gaps measured.
+func (p *PrefetchProbe) Samples() int { return len(p.gaps) }
+
+func meanCycles(cs []sim.Cycle) float64 {
+	if len(cs) == 0 {
+		return math.NaN()
+	}
+	var sum sim.Cycle
+	for _, c := range cs {
+		sum += c
+	}
+	return float64(sum) / float64(len(cs))
+}
+
+// MedianCycles returns the median of a cycle series (helper for repeated
+// experiments, which the paper reports as consistent within 10%).
+func MedianCycles(cs []sim.Cycle) sim.Cycle {
+	if len(cs) == 0 {
+		return 0
+	}
+	s := make([]sim.Cycle, len(cs))
+	copy(s, cs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

@@ -1,0 +1,283 @@
+// Package prefetch models the Cedar data prefetch unit (PFU).
+//
+// Each computational element has its own PFU, designed to mask the long
+// global-memory latency and overcome the Alliant CE's limit of two
+// outstanding requests. A PFU is "armed" with the length, stride and mask
+// of a vector and "fired" with the physical address of the first word. It
+// then issues up to 512 word requests without pausing, one per cycle,
+// into the forward network. Data returns — possibly out of order, due to
+// memory and network conflicts — to a 512-word prefetch buffer with a
+// full/empty bit per word, which lets the CE start consuming before the
+// prefetch completes while still receiving data in request order.
+//
+// When a prefetch crosses a page boundary the PFU suspends until the
+// processor supplies the first physical address of the new page, because
+// the PFU only handles physical addresses; this model charges a fixed
+// processor-assist cost for each crossing.
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// BufferWords is the prefetch buffer capacity: 512 64-bit words, which is
+// also the maximum number of outstanding requests.
+const BufferWords = 512
+
+// DefaultPageWords is the Xylem page size (4 KB) in 64-bit words.
+const DefaultPageWords = 512
+
+// DefaultPageCrossCycles is the modeled cost of the processor supplying
+// the first physical address of a new page when a prefetch suspends at a
+// page boundary.
+const DefaultPageCrossCycles = 10
+
+// slot is one prefetch-buffer word with its full/empty bit.
+type slot struct {
+	full  bool
+	value uint64
+}
+
+// PFU is one prefetch unit. It is a sim.Component (it issues requests
+// during its Tick) and receives replies via Deliver, forwarded by its CE
+// from the reverse-network port they share.
+type PFU struct {
+	port int // shared network port of the owning CE
+	fwd  *network.Network
+
+	// Armed parameters.
+	length int
+	stride int
+	mask   []bool // nil = fetch every element
+
+	// Firing state.
+	active    bool
+	nextAddr  uint64
+	issued    int // requests issued this prefetch
+	arrived   int // replies received this prefetch
+	consumed  int // words consumed by the CE this prefetch
+	resumeAt  sim.Cycle
+	pageWords int
+	pageCost  sim.Cycle
+
+	buf [BufferWords]slot
+
+	// routeFn maps a word address to its memory-module forward port.
+	routeFn func(addr uint64) int
+
+	// OnIssue and OnArrive observe each request for performance
+	// monitoring (seq is the request index within the prefetch).
+	OnIssue  func(now sim.Cycle, seq int, addr uint64)
+	OnArrive func(now sim.Cycle, seq int)
+
+	// Counters.
+	Prefetches    int64
+	Issued        int64
+	PageCrossings int64
+	StallCycles   int64 // cycles the PFU wanted to issue but the network refused
+}
+
+// New returns a PFU issuing into fwd at the given shared port.
+// pageWords <= 0 selects DefaultPageWords; pageCost < 0 selects
+// DefaultPageCrossCycles.
+func New(fwd *network.Network, port, pageWords int, pageCost sim.Cycle) *PFU {
+	if pageWords <= 0 {
+		pageWords = DefaultPageWords
+	}
+	if pageCost < 0 {
+		pageCost = DefaultPageCrossCycles
+	}
+	return &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost}
+}
+
+// Arm loads the vector descriptor: length in words and stride in words,
+// with no mask. Arming does not start the prefetch; Fire does.
+func (u *PFU) Arm(length, stride int) {
+	u.ArmMasked(length, stride, nil)
+}
+
+// ArmMasked loads a full descriptor: length, stride and mask, as the
+// hardware is armed. mask[i] false suppresses element i's fetch; its
+// buffer slot is marked full with zero at fire time, so the consumer's
+// request-order view is preserved (gather-style strip mining over
+// boundary elements). A nil mask fetches everything; the mask length
+// must equal the vector length otherwise.
+func (u *PFU) ArmMasked(length, stride int, mask []bool) {
+	if length < 0 {
+		panic(fmt.Sprintf("prefetch: negative length %d", length))
+	}
+	if mask != nil && len(mask) != length {
+		panic(fmt.Sprintf("prefetch: mask of %d for length %d", len(mask), length))
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	u.length = length
+	u.stride = stride
+	u.mask = mask
+}
+
+// Fire starts the armed prefetch at physical word address addr. Any data
+// remaining in the buffer from a previous prefetch is invalidated, as in
+// the hardware.
+func (u *PFU) Fire(addr uint64) {
+	for i := range u.buf {
+		u.buf[i].full = false
+	}
+	u.active = u.length > 0
+	u.nextAddr = addr
+	u.issued = 0
+	u.arrived = 0
+	u.consumed = 0
+	u.resumeAt = 0
+	if u.mask != nil {
+		// Pre-fill the masked-off slots so the consumer's in-order view
+		// sees them as (zero) data that never traveled the network.
+		for i, on := range u.mask {
+			if !on && i < BufferWords {
+				u.buf[i].full = true
+				u.buf[i].value = 0
+			}
+		}
+	}
+	if u.active {
+		u.Prefetches++
+	}
+}
+
+// Active reports whether a prefetch is in progress (not all requests
+// issued and arrived).
+func (u *PFU) Active() bool { return u.active }
+
+// Length returns the armed length.
+func (u *PFU) Length() int { return u.length }
+
+// Tick issues the next request if the PFU is active, the buffer has a
+// free slot, the page-crossing suspension (if any) has elapsed, and the
+// forward network accepts the packet. Issue rate is one request per cycle.
+func (u *PFU) Tick(now sim.Cycle) {
+	if !u.active || u.issued >= u.length {
+		return
+	}
+	if now < u.resumeAt {
+		return
+	}
+	if u.issued-u.consumed >= BufferWords {
+		return // buffer full of unconsumed data
+	}
+	// Masked-off elements take no network request: their slots were
+	// pre-filled at fire time and the address/issue counters advance for
+	// free here.
+	for u.issued < u.length && u.mask != nil && !u.mask[u.issued] {
+		u.buf[u.issued%BufferWords].full = true
+		u.buf[u.issued%BufferWords].value = 0
+		u.issued++
+		u.arrived++
+		u.nextAddr += uint64(u.stride)
+	}
+	if u.issued >= u.length {
+		if u.arrived >= u.length {
+			u.active = false
+		}
+		return
+	}
+	p := &network.Packet{
+		Dst:   0, // set below by the caller-supplied router
+		Src:   u.port,
+		Words: 1,
+		Kind:  network.Read,
+		Addr:  u.nextAddr,
+		Tag:   uint64(u.issued % BufferWords),
+	}
+	p.Dst = u.route(u.nextAddr)
+	if !u.fwd.Offer(now, u.port, p) {
+		u.StallCycles++
+		return
+	}
+	if u.OnIssue != nil {
+		u.OnIssue(now, u.issued, u.nextAddr)
+	}
+	u.Issued++
+	u.issued++
+	prev := u.nextAddr
+	u.nextAddr += uint64(u.stride)
+	if u.issued < u.length && prev/uint64(u.pageWords) != u.nextAddr/uint64(u.pageWords) {
+		// Page crossing: suspend until the processor supplies the first
+		// address in the new page.
+		u.PageCrossings++
+		u.resumeAt = now + u.pageCost
+	}
+}
+
+// route maps a word address to its memory-module forward port.
+func (u *PFU) route(addr uint64) int {
+	if u.routeFn == nil {
+		panic("prefetch: no router installed (SetRouter)")
+	}
+	return u.routeFn(addr)
+}
+
+// SetRouter installs the address-to-forward-port mapping (normally the
+// global memory's interleaving function).
+func (u *PFU) SetRouter(f func(addr uint64) int) { u.routeFn = f }
+
+// Deliver accepts a reply from the reverse network (forwarded by the CE
+// that shares the port). It returns false if the reply does not belong to
+// the current prefetch — which cannot happen in a correctly wired machine
+// because Fire is never called with requests still in flight by the
+// runtime (the buffer invalidation semantics of the hardware make stale
+// data undefined; we are stricter and reject it).
+func (u *PFU) Deliver(now sim.Cycle, p *network.Packet) bool {
+	seqSlot := int(p.Tag)
+	if seqSlot < 0 || seqSlot >= BufferWords {
+		return false
+	}
+	if u.buf[seqSlot].full {
+		return false // slot still unconsumed: stale or duplicate
+	}
+	u.buf[seqSlot].value = p.Value
+	u.buf[seqSlot].full = true
+	u.arrived++
+	if u.OnArrive != nil {
+		u.OnArrive(now, u.arrived-1)
+	}
+	if u.arrived >= u.length && u.issued >= u.length {
+		u.active = false
+	}
+	return true
+}
+
+// Ready reports whether the next word in request order is in the buffer.
+func (u *PFU) Ready() bool {
+	if u.consumed >= u.length {
+		return false
+	}
+	return u.buf[u.consumed%BufferWords].full
+}
+
+// Consume removes and returns the next word in request order. The CE both
+// accesses the buffer without waiting for the whole prefetch and receives
+// the data in the order requested — the role of the full/empty bits.
+// Consume panics if the word has not arrived; callers gate on Ready.
+func (u *PFU) Consume() uint64 {
+	s := &u.buf[u.consumed%BufferWords]
+	if !s.full {
+		panic("prefetch: Consume before data arrived (full/empty bit clear)")
+	}
+	s.full = false
+	v := s.value
+	u.consumed++
+	return v
+}
+
+// Consumed reports how many words the CE has taken from this prefetch.
+func (u *PFU) Consumed() int { return u.consumed }
+
+// Complete reports whether every armed word has been issued, arrived and
+// been consumed.
+func (u *PFU) Complete() bool {
+	return u.length == 0 || (u.consumed >= u.length)
+}

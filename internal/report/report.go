@@ -1,0 +1,200 @@
+// Package report renders the reproduced tables and figures as text, in
+// the layout of the paper's exhibits.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("report: row of %d cells in a %d-column table", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(note string) { t.notes = append(t.notes, note) }
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+		b.WriteString(strings.Repeat("=", min(total, len(t.Title))) + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			b.WriteString(fmt.Sprintf("%-*s", widths[i]+2, c))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		b.WriteString("  " + n + "\n")
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// F formats a float compactly (one decimal under 100, otherwise none).
+func F(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "-"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Pct formats a ratio as a percentage ("11%").
+func Pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// Scatter renders an ASCII scatter plot (Figure 3's layout: x = one
+// machine's efficiency, y = the other's, both 0..1) with optional
+// horizontal/vertical threshold lines.
+type Scatter struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	XLines, YLines []float64 // threshold lines at these values
+	pts            []scatterPt
+}
+
+type scatterPt struct {
+	x, y  float64
+	mark  rune
+	label string
+}
+
+// NewScatter returns a plot with sensible terminal dimensions.
+func NewScatter(title, xlabel, ylabel string) *Scatter {
+	return &Scatter{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 61, Height: 21}
+}
+
+// Add places a point (coordinates clamped to [0,1]).
+func (s *Scatter) Add(x, y float64, mark rune, label string) {
+	s.pts = append(s.pts, scatterPt{clamp01(x), clamp01(y), mark, label})
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Render writes the plot.
+func (s *Scatter) Render(w io.Writer) error {
+	grid := make([][]rune, s.Height)
+	for r := range grid {
+		grid[r] = make([]rune, s.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	colOf := func(x float64) int { return int(x * float64(s.Width-1)) }
+	rowOf := func(y float64) int { return s.Height - 1 - int(y*float64(s.Height-1)) }
+	for _, xv := range s.XLines {
+		c := colOf(xv)
+		for r := 0; r < s.Height; r++ {
+			grid[r][c] = '|'
+		}
+	}
+	for _, yv := range s.YLines {
+		r := rowOf(yv)
+		for c := 0; c < s.Width; c++ {
+			if grid[r][c] == '|' {
+				grid[r][c] = '+'
+			} else {
+				grid[r][c] = '-'
+			}
+		}
+	}
+	for _, p := range s.pts {
+		grid[rowOf(p.y)][colOf(p.x)] = p.mark
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title + "\n")
+	}
+	b.WriteString(fmt.Sprintf("%s\n", s.YLabel))
+	for r := 0; r < s.Height; r++ {
+		yv := float64(s.Height-1-r) / float64(s.Height-1)
+		b.WriteString(fmt.Sprintf("%4.1f |%s|\n", yv, string(grid[r])))
+	}
+	b.WriteString("      " + strings.Repeat("-", s.Width) + "\n")
+	b.WriteString(fmt.Sprintf("      0%*s1.0   %s\n", s.Width-4, "", s.XLabel))
+	if len(s.pts) > 0 {
+		b.WriteString("  points: ")
+		for i, p := range s.pts {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(fmt.Sprintf("%c=%s(%.2f,%.2f)", p.mark, p.label, p.x, p.y))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

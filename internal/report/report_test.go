@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "bb", "ccc")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("10", "20")
+	tb.AddNote("a note")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Title", "a", "bb", "ccc", "10", "20", "a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header and data lines align: the separator row exists.
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "--") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no separator row")
+	}
+}
+
+func TestTableTooManyCellsPanics(t *testing.T) {
+	tb := NewTable("x", "one")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row accepted")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3.14159: "3.14",
+		42.5:    "42.5",
+		250:     "250",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+	nan := 0.0
+	nan /= nan
+	if F(nan) != "-" {
+		t.Error("F(NaN) should be -")
+	}
+	if Pct(0.11) != "11%" {
+		t.Errorf("Pct = %q", Pct(0.11))
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	s := NewScatter("Fig", "xlab", "ylab")
+	s.XLines = []float64{0.5}
+	s.YLines = []float64{0.1}
+	s.Add(0.3, 0.7, 'A', "alpha")
+	s.Add(1.5, -0.2, 'B', "beta") // clamped
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig", "xlab", "ylab", "A", "B", "alpha", "beta", "|", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "(1.00,0.00)") {
+		t.Fatal("clamping not applied")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	s := NewScatter("", "x", "y")
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatal("empty scatter renders nothing")
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim provides the cycle-stepped discrete simulation engine that
+// underlies the Cedar machine model.
+//
+// Every hardware unit in the model (computational elements, network
+// switches, memory modules, prefetch units, caches) is a Component
+// registered with an Engine. The Engine advances simulated time one
+// instruction cycle at a time; one cycle corresponds to the Alliant FX/8
+// CE instruction cycle of 170 ns described in the paper. Components are
+// ticked in registration order, which makes every simulation fully
+// deterministic: the same program on the same configuration always takes
+// exactly the same number of cycles.
+//
+// A cycle-stepped engine (rather than an event-queue design) is used
+// because during the kernels studied in the paper essentially every unit
+// is active every cycle, and because exact determinism keeps the test
+// suite precise.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Cycle is a point in (or span of) simulated time, measured in CE
+// instruction cycles of 170 ns.
+type Cycle int64
+
+// CycleTime is the duration of one simulated cycle: the 170 ns Alliant
+// FX/8 CE instruction cycle.
+const CycleTime = 170 * time.Nanosecond
+
+// CyclesPerSecond is the simulated clock rate (about 5.88 MHz).
+const CyclesPerSecond = float64(time.Second) / float64(CycleTime)
+
+// Seconds converts a cycle count to simulated seconds.
+func (c Cycle) Seconds() float64 { return float64(c) / CyclesPerSecond }
+
+// Duration converts a cycle count to a time.Duration of simulated time.
+func (c Cycle) Duration() time.Duration { return time.Duration(c) * CycleTime }
+
+// FromDuration converts a duration of simulated time to whole cycles,
+// rounding up so that a positive duration never becomes zero cycles.
+func FromDuration(d time.Duration) Cycle {
+	if d <= 0 {
+		return 0
+	}
+	return Cycle((d + CycleTime - 1) / CycleTime)
+}
+
+// FromMicroseconds converts simulated microseconds to cycles, rounding up.
+func FromMicroseconds(us float64) Cycle {
+	if us <= 0 {
+		return 0
+	}
+	c := us * 1e3 / float64(CycleTime.Nanoseconds())
+	ic := Cycle(c)
+	if float64(ic) < c {
+		ic++
+	}
+	return ic
+}
+
+// A Component is a hardware unit advanced by the engine once per cycle.
+type Component interface {
+	// Tick advances the component through the cycle that begins at now.
+	Tick(now Cycle)
+}
+
+// ComponentFunc adapts a plain function to the Component interface.
+type ComponentFunc func(now Cycle)
+
+// Tick implements Component.
+func (f ComponentFunc) Tick(now Cycle) { f(now) }
+
+// Engine owns simulated time and the ordered set of components.
+// The zero value is not usable; call New.
+type Engine struct {
+	now   Cycle
+	comps []Component
+	names []string
+}
+
+// New returns an empty engine at cycle zero.
+func New() *Engine { return &Engine{} }
+
+// Register adds a component to the tick order. Components are ticked in
+// registration order each cycle; registration order is therefore part of
+// the machine definition and must be deterministic.
+func (e *Engine) Register(name string, c Component) {
+	if c == nil {
+		panic("sim: Register called with nil component")
+	}
+	e.comps = append(e.comps, c)
+	e.names = append(e.names, name)
+}
+
+// Components reports the number of registered components.
+func (e *Engine) Components() int { return len(e.comps) }
+
+// ComponentNames returns the registered component names in tick order.
+func (e *Engine) ComponentNames() []string {
+	out := make([]string, len(e.names))
+	copy(out, e.names)
+	return out
+}
+
+// Now returns the current cycle. During a tick, Now reports the cycle
+// being executed.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Step advances the simulation by one cycle, ticking every component.
+func (e *Engine) Step() {
+	for _, c := range e.comps {
+		c.Tick(e.now)
+	}
+	e.now++
+}
+
+// Run advances the simulation by n cycles.
+func (e *Engine) Run(n Cycle) {
+	for i := Cycle(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// ErrDeadline is returned by RunUntil when the predicate does not become
+// true within the cycle budget.
+var ErrDeadline = errors.New("sim: deadline exceeded before condition held")
+
+// RunUntil steps the engine until done() reports true, checking before
+// each cycle, or until max cycles have elapsed from the current time. It
+// returns the cycle at which the condition first held.
+func (e *Engine) RunUntil(done func() bool, max Cycle) (Cycle, error) {
+	deadline := e.now + max
+	for !done() {
+		if e.now >= deadline {
+			return e.now, fmt.Errorf("%w (budget %d cycles)", ErrDeadline, max)
+		}
+		e.Step()
+	}
+	return e.now, nil
+}
+
+// Rand is a small deterministic pseudo-random source (xorshift64*) used by
+// workload generators. It is intentionally independent of math/rand so
+// that workloads are reproducible across Go releases.
+type Rand struct{ s uint64 }
+
+// NewRand returns a generator seeded with seed (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCycleConversions(t *testing.T) {
+	if got := Cycle(1).Duration(); got != 170*time.Nanosecond {
+		t.Fatalf("Cycle(1).Duration() = %v, want 170ns", got)
+	}
+	if got := FromDuration(170 * time.Nanosecond); got != 1 {
+		t.Fatalf("FromDuration(170ns) = %d, want 1", got)
+	}
+	if got := FromDuration(171 * time.Nanosecond); got != 2 {
+		t.Fatalf("FromDuration(171ns) = %d, want 2 (round up)", got)
+	}
+	if got := FromDuration(0); got != 0 {
+		t.Fatalf("FromDuration(0) = %d, want 0", got)
+	}
+	if got := FromDuration(-time.Second); got != 0 {
+		t.Fatalf("FromDuration(-1s) = %d, want 0", got)
+	}
+}
+
+func TestFromMicroseconds(t *testing.T) {
+	// 90 us startup from the paper: 90e3 ns / 170 ns = 529.4 -> 530.
+	if got := FromMicroseconds(90); got != 530 {
+		t.Fatalf("FromMicroseconds(90) = %d, want 530", got)
+	}
+	if got := FromMicroseconds(0); got != 0 {
+		t.Fatalf("FromMicroseconds(0) = %d, want 0", got)
+	}
+	// Exact multiples do not round up: 1.7 us = 10 cycles.
+	if got := FromMicroseconds(1.7); got != 10 {
+		t.Fatalf("FromMicroseconds(1.7) = %d, want 10", got)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	c := Cycle(1_000_000)
+	s := c.Seconds()
+	want := 0.17 // 1e6 * 170ns = 0.17 s
+	if s < want-1e-9 || s > want+1e-9 {
+		t.Fatalf("Seconds(1e6 cycles) = %g, want %g", s, want)
+	}
+}
+
+func TestEngineTickOrderAndTime(t *testing.T) {
+	e := New()
+	var order []string
+	mk := func(name string) ComponentFunc {
+		return func(now Cycle) {
+			if now != e.Now() {
+				t.Errorf("component %s saw now=%d, engine Now()=%d", name, now, e.Now())
+			}
+			order = append(order, name)
+		}
+	}
+	e.Register("a", mk("a"))
+	e.Register("b", mk("b"))
+	e.Register("c", mk("c"))
+	e.Step()
+	e.Step()
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %d after 2 steps, want 2", e.Now())
+	}
+	if e.Components() != 3 {
+		t.Fatalf("Components() = %d, want 3", e.Components())
+	}
+	names := e.ComponentNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("ComponentNames() = %v", names)
+	}
+}
+
+func TestEngineRun(t *testing.T) {
+	e := New()
+	n := 0
+	e.Register("ctr", ComponentFunc(func(Cycle) { n++ }))
+	e.Run(25)
+	if n != 25 || e.Now() != 25 {
+		t.Fatalf("after Run(25): n=%d Now=%d", n, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	n := 0
+	e.Register("ctr", ComponentFunc(func(Cycle) { n++ }))
+	at, err := e.RunUntil(func() bool { return n >= 10 }, 100)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if at != 10 || n != 10 {
+		t.Fatalf("condition held at %d with n=%d, want 10/10", at, n)
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	e := New()
+	e.Register("noop", ComponentFunc(func(Cycle) {}))
+	_, err := e.RunUntil(func() bool { return false }, 50)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("engine advanced to %d, want 50", e.Now())
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	e := New()
+	at, err := e.RunUntil(func() bool { return true }, 0)
+	if err != nil || at != 0 {
+		t.Fatalf("immediate condition: at=%d err=%v", at, err)
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	New().Register("bad", nil)
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a2 := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d times of 1000", same)
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

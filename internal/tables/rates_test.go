@@ -1,0 +1,125 @@
+package tables
+
+// Cross-validation between the modeling layers: the Perfect workload
+// models run on analytic machine rates (perfect.DefaultRates), and those
+// rates claim to come from this repository's cycle-level simulator. The
+// tests here measure each rate on the simulated machine and assert the
+// analytic constants track the measurements — so a change to the
+// simulator that shifts a rate will fail here rather than silently
+// desynchronizing Table 3 from Tables 1-2.
+
+import (
+	"testing"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/perfect"
+	"repro/internal/sim"
+)
+
+// measureStream runs a pure 2-flops-per-word stream on every CE of a
+// one-cluster machine and returns per-CE MFLOPS.
+func measureStream(t *testing.T, space isa.Space, usePrefetch bool) float64 {
+	t.Helper()
+	cfg := core.ConfigClusters(1)
+	cfg.Global.Words = 1 << 16
+	m := core.MustNew(cfg)
+	const n = 2048
+	for id := 0; id < m.NumCEs(); id++ {
+		base := uint64(id * n)
+		seq := isa.NewSeq()
+		for off := 0; off < n; off += 32 {
+			addr := isa.Addr{Space: space, Word: base + uint64(off)}
+			if usePrefetch {
+				seq.Add(isa.NewPrefetch(addr, 32, 1))
+			}
+			seq.Add(isa.NewVectorLoad(addr, 32, 1, 2, usePrefetch))
+		}
+		m.CE(id).SetProgram(seq)
+	}
+	// Warm pass for the cluster cache (cluster space only).
+	end, err := m.RunUntilIdle(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space == isa.Cluster {
+		// Re-run warm.
+		for id := 0; id < m.NumCEs(); id++ {
+			base := uint64(id * n)
+			seq := isa.NewSeq()
+			for off := 0; off < n; off += 32 {
+				seq.Add(isa.NewVectorLoad(isa.Addr{Space: space, Word: base + uint64(off)}, 32, 1, 2, false))
+			}
+			m.CE(id).SetProgram(seq)
+		}
+		start := m.Eng.Now()
+		end2, err := m.RunUntilIdle(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.MFLOPS(int64(2*n), end2-start) // per CE: each did 2n flops
+	}
+	return core.MFLOPS(int64(2*n), end) // per CE
+}
+
+func within(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Fatalf("%s: simulator measures %.2f, analytic rate %.2f (tolerance %.0f%%)",
+			what, got, want, tol*100)
+	}
+}
+
+func TestAnalyticRatesTrackSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := perfect.DefaultRates()
+
+	noPref := measureStream(t, isa.Global, false)
+	within(t, "VectorGlobalNoPref", noPref, r.VectorGlobalNoPref, 0.15)
+
+	// The analytic prefetched rate follows the paper's measurement
+	// (50 MFLOPS / 8 CEs); our simulator runs prefetched streams
+	// somewhat faster because its network saturates later than the real
+	// one (see EXPERIMENTS.md, Table 1 discussion) — assert the looser
+	// band that documents that known gap.
+	pref := measureStream(t, isa.Global, true)
+	within(t, "VectorGlobalPref", pref, r.VectorGlobalPref, 0.40)
+
+	local := measureStream(t, isa.Cluster, false)
+	within(t, "VectorLocal", local, r.VectorLocal, 0.35)
+}
+
+// TestAnalyticOverheadsTrackSimulator measures the XDOALL startup and
+// claim costs on the simulated runtime against the analytic constants.
+func TestAnalyticOverheadsTrackSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := perfect.DefaultRates()
+	cfg := core.ConfigClusters(1)
+	cfg.Global.Words = 1 << 14
+
+	// Empty loop: elapsed ~ startup + per-iteration claims / P.
+	run := func(iters int) float64 {
+		m := core.MustNew(cfg)
+		rt := cedarfort.New(m, cedarfort.DefaultConfig())
+		elapsed, err := rt.XDOALL(iters, cedarfort.SelfScheduled, func(ctx *cedarfort.Ctx, iter int) {
+			ctx.Emit(isa.NewCompute(1))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed.Seconds()
+	}
+	small := run(8)
+	big := run(808)
+	// Startup: the small loop is dominated by it.
+	within(t, "StartupSeconds", small, r.StartupSeconds, 0.5)
+	// Claim cost per iteration from the slope (claims run on 8 CEs).
+	perIter := (big - small) / 800 * 8
+	within(t, "ClaimFastSeconds", perIter, r.ClaimFastSeconds, 0.6)
+	_ = sim.Cycle(0)
+}

@@ -1,0 +1,167 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/report"
+)
+
+// Table2Published holds the paper's Table 2: prefetch speedup, first-word
+// latency and interarrival time for the four kernels at 8/16/32 CEs.
+var Table2Published = map[string]struct {
+	Speedup      [3]float64
+	Latency      [3]float64
+	Interarrival [3]float64
+}{
+	"TM": {Speedup: [3]float64{2.1, 2.0, 1.5}, Latency: [3]float64{9.4, 10.2, 14.2}, Interarrival: [3]float64{1.1, 1.2, 2.1}},
+	"CG": {Speedup: [3]float64{2.4, 2.2, 1.5}, Latency: [3]float64{9.4, 10.3, 15.1}, Interarrival: [3]float64{1.1, 1.2, 2.1}},
+	"VF": {Speedup: [3]float64{1.8, 1.7, 1.5}, Latency: [3]float64{9.6, 11.0, 16.7}, Interarrival: [3]float64{1.2, 1.4, 2.2}},
+	"RK": {Speedup: [3]float64{3.4, 2.9, 1.8}, Latency: [3]float64{12.9, 15.3, 18.3}, Interarrival: [3]float64{1.2, 1.8, 3.2}},
+}
+
+// Table2Row is one kernel at one machine width.
+type Table2Row struct {
+	Kernel       string
+	CEs          int
+	Speedup      float64 // time(no prefetch) / time(prefetch)
+	Latency      float64 // first-word latency, cycles
+	Interarrival float64 // cycles between remaining words of a block
+}
+
+// Table2Data is the regenerated Table 2.
+type Table2Data struct {
+	Rows []Table2Row
+}
+
+// Get returns the row for a kernel and CE count.
+func (d *Table2Data) Get(kernel string, ces int) (Table2Row, bool) {
+	for _, r := range d.Rows {
+		if r.Kernel == kernel && r.CEs == ces {
+			return r, true
+		}
+	}
+	return Table2Row{}, false
+}
+
+// table2Kernels runs one kernel with and without prefetch on a fresh
+// machine and returns (speedup, latency, interarrival).
+func runKernelPair(clusters int, run func(m *core.Machine, usePrefetch, probe bool) (kernels.Result, error)) (Table2Row, error) {
+	mk := func() (*core.Machine, error) { return core.New(core.ConfigClusters(clusters)) }
+	mNo, err := mk()
+	if err != nil {
+		return Table2Row{}, err
+	}
+	resNo, err := run(mNo, false, false)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	mPf, err := mk()
+	if err != nil {
+		return Table2Row{}, err
+	}
+	resPf, err := run(mPf, true, true)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{
+		CEs:          clusters * 8,
+		Speedup:      float64(resNo.Cycles) / float64(resPf.Cycles),
+		Latency:      resPf.Latency,
+		Interarrival: resPf.Interarrival,
+	}, nil
+}
+
+// RunTable2 measures the four kernels (TM, CG, VF, RK) at 8, 16 and 32
+// processors, global data only, with the hardware monitor attached to a
+// single processor's prefetch unit, as the paper does. scale multiplies
+// the problem sizes (1 = benchmark default).
+func RunTable2(scale int) (*Table2Data, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	d := &Table2Data{}
+	for _, clusters := range []int{1, 2, 4} {
+		// TM: tridiagonal matrix-vector multiply.
+		row, err := runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
+			return kernels.TriMatVec(m, 4096*scale, pf, probe)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table 2 TM: %w", err)
+		}
+		row.Kernel = "TM"
+		d.Rows = append(d.Rows, row)
+
+		// CG: conjugate gradient (4 iterations are enough for the
+		// steady-state rates).
+		row, err = runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
+			p := kernels.NewCGProblem(4096*scale, 64)
+			rt := cedarfort.New(m, cedarfort.DefaultConfig())
+			res, err := kernels.CG(m, rt, p, 4, pf, probe)
+			return res.Result, err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table 2 CG: %w", err)
+		}
+		row.Kernel = "CG"
+		d.Rows = append(d.Rows, row)
+
+		// VF: vector load/scale stream.
+		row, err = runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
+			return kernels.VectorLoad(m, 8192*scale, pf, probe)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table 2 VF: %w", err)
+		}
+		row.Kernel = "VF"
+		d.Rows = append(d.Rows, row)
+
+		// RK: rank-64 update with 256-word prefetch blocks.
+		row, err = runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
+			in := kernels.NewRank64Input(128 * scale)
+			mode := kernels.GMNoPrefetch
+			if pf {
+				mode = kernels.GMPrefetch
+			}
+			return kernels.Rank64(m, in, mode, probe)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table 2 RK: %w", err)
+		}
+		row.Kernel = "RK"
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// Render writes the table in the paper's layout with published values.
+func (d *Table2Data) Render(w io.Writer) error {
+	t := report.NewTable(
+		"Table 2: Global memory performance (measured; paper in parentheses)",
+		"kernel",
+		"speedup 8", "speedup 16", "speedup 32",
+		"latency 8", "latency 16", "latency 32",
+		"interarr 8", "interarr 16", "interarr 32")
+	for _, k := range []string{"TM", "CG", "VF", "RK"} {
+		pub := Table2Published[k]
+		row := []string{k}
+		for i, ces := range []int{8, 16, 32} {
+			r, _ := d.Get(k, ces)
+			row = append(row, fmt.Sprintf("%s (%s)", report.F(r.Speedup), report.F(pub.Speedup[i])))
+		}
+		for i, ces := range []int{8, 16, 32} {
+			r, _ := d.Get(k, ces)
+			row = append(row, fmt.Sprintf("%s (%s)", report.F(r.Latency), report.F(pub.Latency[i])))
+		}
+		for i, ces := range []int{8, 16, 32} {
+			r, _ := d.Get(k, ces)
+			row = append(row, fmt.Sprintf("%s (%s)", report.F(r.Interarrival), report.F(pub.Interarrival[i])))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("minimal latency 8 cycles, minimal interarrival 1 cycle; single-processor monitor")
+	return t.Render(w)
+}

@@ -1,0 +1,151 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/compare"
+	"repro/internal/methodology"
+	"repro/internal/report"
+)
+
+// Table5Row is one machine's instability measurements.
+type Table5Row struct {
+	Machine          string
+	In0, In2, In6    float64
+	ExceptionsNeeded int
+	PassPPT2         bool
+}
+
+// Table5Data is the regenerated Table 5 (instability for Perfect codes).
+type Table5Data struct {
+	Rows []Table5Row
+}
+
+// RunTable5 computes In(13, e) for Cedar, the Cray YMP-8 and the Cray-1
+// from the cross-machine rate ensembles.
+func RunTable5() *Table5Data {
+	ds := compare.Dataset()
+	d := &Table5Data{}
+	for _, m := range []struct {
+		name  string
+		rates []float64
+	}{
+		{"Cray-1 (modern compiler)", compare.Cray1Rates(ds)},
+		{"Cray YMP-8", compare.YMPRates(ds)},
+		{"Cedar", compare.CedarRates(ds)},
+	} {
+		rep := methodology.PPT2(m.rates, compare.WorkstationInstability)
+		d.Rows = append(d.Rows, Table5Row{
+			Machine: m.name,
+			In0:     rep.In0, In2: rep.In2, In6: rep.In6,
+			ExceptionsNeeded: rep.ExceptionsNeeded,
+			PassPPT2:         rep.Pass,
+		})
+	}
+	return d
+}
+
+// Get returns the row for a machine.
+func (d *Table5Data) Get(machine string) (Table5Row, bool) {
+	for _, r := range d.Rows {
+		if r.Machine == machine {
+			return r, true
+		}
+	}
+	return Table5Row{}, false
+}
+
+// Render writes the table.
+func (d *Table5Data) Render(w io.Writer) error {
+	t := report.NewTable(
+		"Table 5: Instability for Perfect codes (In(13,e); workstation level ~5)",
+		"machine", "In(13,0)", "In(13,2)", "In(13,6)", "exceptions to stability", "PPT2")
+	for _, r := range d.Rows {
+		verdict := "fail"
+		if r.PassPPT2 {
+			verdict = "pass"
+		}
+		t.AddRow(r.Machine, report.F(r.In0), report.F(r.In2), report.F(r.In6),
+			fmt.Sprintf("%d", r.ExceptionsNeeded), verdict)
+	}
+	t.AddNote("the paper: two exceptions suffice on the Cray-1 and Cedar; the YMP needs six")
+	return t.Render(w)
+}
+
+// Table6Data is the regenerated Table 6 (restructuring efficiency bands).
+type Table6Data struct {
+	Cedar methodology.PPT3Report
+	YMP   methodology.PPT3Report
+}
+
+// RunTable6 counts the efficiency bands of the automatable (Cedar) and
+// automatic (YMP) restructuring results.
+func RunTable6() *Table6Data {
+	ds := compare.Dataset()
+	var cedar, ymp []methodology.Point
+	for _, c := range ds {
+		cedar = append(cedar, methodology.Point{Name: c.Name, Efficiency: c.CedarAutoEff})
+		ymp = append(ymp, methodology.Point{Name: c.Name, Efficiency: c.YMPAutoEff})
+	}
+	return &Table6Data{
+		Cedar: methodology.PPT3(cedar, compare.Cedar32.Processors),
+		YMP:   methodology.PPT3(ymp, compare.YMP8.Processors),
+	}
+}
+
+// Render writes the table in the paper's layout.
+func (d *Table6Data) Render(w io.Writer) error {
+	t := report.NewTable(
+		"Table 6: Restructuring Efficiency",
+		"performance level", "Cedar", "Cray YMP")
+	t.AddRow("High (EP > .5)", fmt.Sprintf("%d codes", d.Cedar.High), fmt.Sprintf("%d codes", d.YMP.High))
+	t.AddRow("Intermediate (EP > 1/2 logP)", fmt.Sprintf("%d codes", d.Cedar.Intermediate), fmt.Sprintf("%d codes", d.YMP.Intermediate))
+	t.AddRow("Unacceptable (EP < 1/2 logP)", fmt.Sprintf("%d codes", d.Cedar.Unacceptable), fmt.Sprintf("%d codes", d.YMP.Unacceptable))
+	t.AddNote("paper: Cedar 1/9/3, YMP 0/6/7")
+	return t.Render(w)
+}
+
+// Figure3Data is the efficiency scatter of Figure 3.
+type Figure3Data struct {
+	Points []compare.CodePoint
+	// Band counts on each axis.
+	CedarHigh, CedarIntermediate, CedarUnacceptable int
+	YMPHigh, YMPIntermediate, YMPUnacceptable       int
+}
+
+// RunFigure3 assembles the manual-optimization efficiency scatter.
+func RunFigure3() *Figure3Data {
+	ds := compare.Dataset()
+	d := &Figure3Data{Points: ds}
+	var cedar, ymp []float64
+	for _, c := range ds {
+		cedar = append(cedar, c.CedarManualEff)
+		ymp = append(ymp, c.YMPManualEff)
+	}
+	d.CedarHigh, d.CedarIntermediate, d.CedarUnacceptable = methodology.CountBands(cedar, 32)
+	d.YMPHigh, d.YMPIntermediate, d.YMPUnacceptable = methodology.CountBands(ymp, 8)
+	return d
+}
+
+// Render draws the ASCII scatter with the band thresholds of both
+// machines marked.
+func (d *Figure3Data) Render(w io.Writer) error {
+	s := report.NewScatter(
+		"Figure 3: Cray YMP/8 vs Cedar efficiency (manually optimized Perfect codes)",
+		"Cedar eff. (32 CEs; bands at 0.1, 0.5)", "YMP eff.")
+	s.XLines = []float64{methodology.AcceptableEfficiency(32), methodology.HighEfficiency}
+	s.YLines = []float64{methodology.AcceptableEfficiency(8), methodology.HighEfficiency}
+	for _, c := range d.Points {
+		s.Add(c.CedarManualEff, c.YMPManualEff, rune(c.Name[0]), c.Name)
+	}
+	if err := s.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"bands: Cedar %dH/%dI/%dU of %d, YMP %dH/%dI/%dU (paper: Cedar ~1/4 high, 3/4 intermediate, none unacceptable;\n"+
+			"       YMP about half high, half intermediate, one unacceptable)\n\n",
+		d.CedarHigh, d.CedarIntermediate, d.CedarUnacceptable, len(d.Points),
+		d.YMPHigh, d.YMPIntermediate, d.YMPUnacceptable)
+	return err
+}
