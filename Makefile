@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is what a pipeline should run.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-engine ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator is single-goroutine per machine, but tests run machines
+# concurrently; -race guards the harness and any future parallelism.
+race:
+	$(GO) test -race ./...
+
+# Every table/figure of the paper, printed once each.
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+# Naive vs quiescence-aware engine on the DOALL-startup-heavy workload;
+# the ns/op ratio is the fast path's wall-clock win (results are
+# bit-identical between the two sub-benchmarks).
+bench-engine:
+	$(GO) test -run NONE -bench BenchmarkEngineQuiescence -benchtime 10x .
+
+ci: vet test race bench-engine

@@ -277,6 +277,41 @@ func BenchmarkAblationCacheGeometry(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineQuiescence measures the quiescence-aware engine
+// against the naive tick-everything reference on a DOALL-startup-heavy
+// workload: repeated self-scheduled XDOALLs whose 90 us dispatch
+// startups leave the whole 32-CE machine quiet for ~530 cycles at a
+// time — exactly the spans the engine fast-forwards in one jump. The
+// two sub-benchmarks simulate the identical workload (the determinism
+// tests assert bit-identical results), so the ns/op ratio is the fast
+// path's wall-clock win.
+func BenchmarkEngineQuiescence(b *testing.B) {
+	workload := func(b *testing.B, naive bool) {
+		var simCycles int64
+		for i := 0; i < b.N; i++ {
+			cfg := core.ConfigClusters(4)
+			cfg.Global.Words = 1 << 16 // keep construction cost out of the engine measurement
+			cfg.NaiveEngine = naive
+			m, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := cedarfort.New(m, cedarfort.DefaultConfig())
+			for l := 0; l < 64; l++ {
+				if _, err := rt.XDOALL(32, cedarfort.SelfScheduled, func(ctx *cedarfort.Ctx, iter int) {
+					ctx.Emit(isa.NewCompute(500))
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			simCycles = int64(m.Eng.Now())
+		}
+		b.ReportMetric(float64(simCycles), "sim-cycles/op")
+	}
+	b.Run("naive", func(b *testing.B) { workload(b, true) })
+	b.Run("quiescent", func(b *testing.B) { workload(b, false) })
+}
+
 // BenchmarkSimulatorSpeed measures the raw engine rate on the full
 // machine under kernel load (host cycles per simulated cycle).
 func BenchmarkSimulatorSpeed(b *testing.B) {

@@ -159,6 +159,49 @@ func (c *CE) ForceProgram(p isa.Program) {
 // Idle reports whether the CE has no program and no operation in flight.
 func (c *CE) Idle() bool { return c.prog == nil && c.cur == nil }
 
+// NextEvent implements sim.IdleComponent: the earliest cycle at which
+// ticking this CE could change observable state. States that accrue
+// per-cycle stall counters (scalar/sync waits, structural retries) must
+// tick every cycle; pure timer waits (compute spans, vector startup,
+// posted-write and sync-extra completions) report their expiry so the
+// engine can skip or fast-forward through them.
+func (c *CE) NextEvent(now sim.Cycle) sim.Cycle {
+	if c.cur == nil {
+		if c.prog != nil {
+			return now
+		}
+		return sim.Never // woken externally by SetProgram/ForceProgram
+	}
+	switch c.cur.Kind {
+	case isa.Compute:
+		return c.finishAt
+	case isa.Vector:
+		if now < c.startupEnd {
+			return c.startupEnd
+		}
+		return now // consuming/issuing: StallMem/StallNet accrue per cycle
+	case isa.Scalar, isa.Sync:
+		if c.finishAt < 0 {
+			return now // retry (-1) and reply-wait (-2) states stall-count
+		}
+		return c.finishAt
+	default: // isa.Prefetch completes on its next tick
+		return now
+	}
+}
+
+// SkipCycles implements sim.SkipAware: the engine never executed the
+// cycles [from, to) for this CE. The only per-cycle accrual in a
+// skippable state is the idle counter — every other counting state pins
+// NextEvent to now — so credit IdleCycles when no operation was in
+// flight. A program assigned during the span would have ended it at the
+// CE's next tick slot, so the whole span was genuinely idle.
+func (c *CE) SkipCycles(from, to sim.Cycle) {
+	if c.cur == nil {
+		c.IdleCycles += int64(to - from)
+	}
+}
+
 // Deliver accepts a reverse-network packet for this CE's port,
 // dispatching prefetch-buffer fills to the PFU.
 func (c *CE) Deliver(now sim.Cycle, p *network.Packet) bool {

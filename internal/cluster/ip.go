@@ -54,6 +54,28 @@ func (ip *IP) Submit(words int64, formatted bool, onDone func()) {
 // Pending reports queued plus in-service requests.
 func (ip *IP) Pending() int { return len(ip.queue) }
 
+// NextEvent implements sim.IdleComponent: the earliest pending
+// completion, or the end of the current transfer if another is queued.
+// Submissions arrive via Submit (external stimulus), so an IP with no
+// queue and no pending completion reports Never. Completion times are
+// included so a machine-wide fast-forward never jumps past an onDone
+// callback.
+func (ip *IP) NextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	for _, d := range ip.pendingDone {
+		if d.at < next {
+			next = d.at
+		}
+	}
+	if len(ip.queue) > 0 && ip.busyTil < next {
+		next = ip.busyTil
+	}
+	if next <= now {
+		return now
+	}
+	return next
+}
+
 // Tick advances the IP: fire completions whose service time has
 // elapsed, then start the next transfer when free.
 func (ip *IP) Tick(now sim.Cycle) {

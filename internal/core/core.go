@@ -58,6 +58,12 @@ type Config struct {
 	// paper's claim that the measured degradation "is not inherent in
 	// the type of network used" [Turn93].
 	IdealNetwork bool
+	// NaiveEngine disables the engine's quiescence-aware fast path so
+	// every component is ticked every cycle. Results are bit-identical
+	// either way (the determinism tests assert it); the naive path
+	// exists as the reference for those tests and for benchmarking the
+	// fast path's wall-clock win.
+	NaiveEngine bool
 }
 
 // DefaultConfig returns the as-built, full four-cluster Cedar.
@@ -136,6 +142,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	eng := sim.New()
+	if cfg.NaiveEngine {
+		eng.SetQuiescence(false)
+	}
 	mkNet := func(name string) (*network.Network, error) {
 		if cfg.IdealNetwork {
 			return network.NewIdeal(name, ports, cfg.NetRadix)

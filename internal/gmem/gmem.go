@@ -172,6 +172,29 @@ func (m *Module) Offer(p *network.Packet) bool {
 // QueueLen reports the number of requests waiting at the module.
 func (m *Module) QueueLen() int { return len(m.queue) }
 
+// NextEvent implements sim.IdleComponent. While a request is in service
+// nothing can happen before nextFreeAt — queued requests cannot enter the
+// single service pipeline early, and new arrivals are admitted by Offer
+// without a tick — so that expiry is reported for fast-forwarding. A
+// reply blocked by reverse-network backpressure retries every cycle. An
+// empty module is woken by the forward network, which ticks earlier in
+// the machine order.
+func (m *Module) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.pending != nil {
+		return now
+	}
+	if m.inService != nil {
+		if m.nextFreeAt > now {
+			return m.nextFreeAt
+		}
+		return now
+	}
+	if len(m.queue) > 0 {
+		return now
+	}
+	return sim.Never
+}
+
 // Tick advances the module. The service pipeline takes ServiceCycles per
 // request: a request accepted into service at cycle t produces its reply
 // at t + ServiceCycles (memory reads and the synchronization processor's
@@ -228,7 +251,11 @@ func (m *Module) complete(p *network.Packet) *network.Packet {
 			Addr:  p.Addr,
 			Value: m.g.LoadWord(p.Addr),
 			Tag:   p.Tag,
-			Born:  p.Born, // preserve issue time for latency monitoring
+			// Preserve the request's issue stamp for latency monitoring;
+			// BornSet keeps the reverse network from re-stamping replies
+			// to requests injected at cycle 0.
+			Born:    p.Born,
+			BornSet: p.BornSet,
 		}
 	case network.Write:
 		m.Writes++
@@ -249,10 +276,11 @@ func (m *Module) complete(p *network.Packet) *network.Packet {
 			Words: 1,
 			Kind:  network.Reply,
 			Addr:  p.Addr,
-			Value: uint64(old),
-			OK:    ok,
-			Tag:   p.Tag,
-			Born:  p.Born,
+			Value:   uint64(old),
+			OK:      ok,
+			Tag:     p.Tag,
+			Born:    p.Born,
+			BornSet: p.BornSet,
 		}
 	default:
 		panic(fmt.Sprintf("gmem: module received %v packet", p.Kind))

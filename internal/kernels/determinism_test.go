@@ -1,0 +1,162 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+)
+
+// The quiescence-aware engine's contract is bit-identical results: every
+// kernel must produce exactly the same cycle counts, numerics and
+// hardware counters whether the engine ticks every component every cycle
+// (NaiveEngine) or skips idle components and fast-forwards quiet spans.
+// These tests run each kernel both ways and diff a full stats
+// fingerprint of the machine.
+
+func enginePair(clusters int) (fast, naive *core.Machine) {
+	mk := func(naiveEngine bool) *core.Machine {
+		cfg := core.ConfigClusters(clusters)
+		cfg.Global.Words = 1 << 20
+		cfg.NaiveEngine = naiveEngine
+		return core.MustNew(cfg)
+	}
+	return mk(false), mk(true)
+}
+
+// fingerprint serializes every architected counter in the machine, so
+// any divergence between engine paths shows up as a readable diff.
+func fingerprint(m *core.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d flops=%d\n", m.Eng.Now(), m.TotalFlops())
+	for _, c := range m.CEs() {
+		fmt.Fprintf(&b, "ce%d ops=%d flops=%d stallmem=%d stallnet=%d idle=%d fin=%d\n",
+			c.ID, c.OpsDone, c.Flops, c.StallMem, c.StallNet, c.IdleCycles, c.FinishedAt)
+		u := c.PFU()
+		fmt.Fprintf(&b, "pfu%d pf=%d issued=%d cross=%d stall=%d\n",
+			c.ID, u.Prefetches, u.Issued, u.PageCrossings, u.StallCycles)
+	}
+	fmt.Fprintf(&b, "fwd inj=%d del=%d words=%d rej=%d\n", m.Fwd.Injected, m.Fwd.Delivered, m.Fwd.WordsIn, m.Fwd.Rejected)
+	fmt.Fprintf(&b, "rev inj=%d del=%d words=%d rej=%d\n", m.Rev.Injected, m.Rev.Delivered, m.Rev.WordsIn, m.Rev.Rejected)
+	for i := 0; i < m.Global.Modules(); i++ {
+		mod := m.Global.Module(i)
+		fmt.Fprintf(&b, "mod%d served=%d sync=%d r=%d w=%d busy=%d\n",
+			i, mod.Served, mod.SyncOps, mod.Reads, mod.Writes, mod.BusyCycles)
+	}
+	return b.String()
+}
+
+// diffFingerprints reports the first differing lines (the full prints
+// are thousands of lines on 4 clusters).
+func diffFingerprints(t *testing.T, what, fast, naive string) {
+	t.Helper()
+	if fast == naive {
+		return
+	}
+	fl, nl := strings.Split(fast, "\n"), strings.Split(naive, "\n")
+	for i := 0; i < len(fl) && i < len(nl); i++ {
+		if fl[i] != nl[i] {
+			t.Fatalf("%s: engine paths diverged at fingerprint line %d:\n  fast:  %s\n  naive: %s", what, i, fl[i], nl[i])
+		}
+	}
+	t.Fatalf("%s: fingerprints differ in length (%d vs %d lines)", what, len(fl), len(nl))
+}
+
+func checkResults(t *testing.T, what string, fast, naive Result) {
+	t.Helper()
+	if fast.Cycles != naive.Cycles {
+		t.Fatalf("%s: cycles %d (quiescent) != %d (naive)", what, fast.Cycles, naive.Cycles)
+	}
+	if fast.Flops != naive.Flops || fast.Check != naive.Check {
+		t.Fatalf("%s: flops/check diverged: %d/%g vs %d/%g", what, fast.Flops, fast.Check, naive.Flops, naive.Check)
+	}
+}
+
+func TestDeterminismVectorLoad(t *testing.T) {
+	for _, pf := range []bool{false, true} {
+		fast, naive := enginePair(1)
+		n := fast.NumCEs() * StripLen * 4
+		rf, err := VectorLoad(fast, n, pf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := VectorLoad(naive, n, pf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		what := fmt.Sprintf("VL prefetch=%v", pf)
+		checkResults(t, what, rf, rn)
+		diffFingerprints(t, what, fingerprint(fast), fingerprint(naive))
+	}
+}
+
+func TestDeterminismTriMatVec(t *testing.T) {
+	for _, pf := range []bool{false, true} {
+		fast, naive := enginePair(2)
+		n := fast.NumCEs() * StripLen * 2
+		rf, err := TriMatVec(fast, n, pf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := TriMatVec(naive, n, pf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		what := fmt.Sprintf("TM prefetch=%v", pf)
+		checkResults(t, what, rf, rn)
+		diffFingerprints(t, what, fingerprint(fast), fingerprint(naive))
+	}
+}
+
+func TestDeterminismRank64(t *testing.T) {
+	for _, mode := range []Mode{GMNoPrefetch, GMPrefetch, GMCache} {
+		fast, naive := enginePair(1)
+		rf, err := Rank64(fast, NewRank64Input(64), mode, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := Rank64(naive, NewRank64Input(64), mode, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResults(t, mode.String(), rf, rn)
+		diffFingerprints(t, mode.String(), fingerprint(fast), fingerprint(naive))
+	}
+}
+
+func TestDeterminismCG(t *testing.T) {
+	run := func(m *core.Machine) CGResult {
+		t.Helper()
+		rt := cedarfort.New(m, cedarfort.DefaultConfig())
+		res, err := CG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), 3, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, naive := enginePair(2)
+	rf, rn := run(fast), run(naive)
+	checkResults(t, "CG", rf.Result, rn.Result)
+	if rf.FinalResidual != rn.FinalResidual {
+		t.Fatalf("CG residual diverged: %g vs %g", rf.FinalResidual, rn.FinalResidual)
+	}
+	diffFingerprints(t, "CG", fingerprint(fast), fingerprint(naive))
+}
+
+// TestQuiescencePathExercised guards the guard: the equivalence above is
+// vacuous if the fast path never actually skips anything on real
+// workloads.
+func TestQuiescencePathExercised(t *testing.T) {
+	fast, _ := enginePair(1)
+	if _, err := Rank64(fast, NewRank64Input(64), GMCache, false); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Eng.SkippedTicks == 0 {
+		t.Fatal("quiescent engine never skipped an idle component tick")
+	}
+	if fast.Eng.FastForwarded == 0 {
+		t.Fatal("quiescent engine never fast-forwarded a quiet span on a cache-mode kernel")
+	}
+}

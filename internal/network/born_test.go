@@ -1,0 +1,94 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBornStampZeroCycleNotRestamped is the regression test for the
+// measurement-path bug where Offer treated Born == 0 as "unstamped": a
+// request injected at cycle 0 produced a reply carrying Born == 0, and
+// the reverse network re-stamped it on injection, so the monitored
+// round-trip latency collapsed to the reverse-trip time alone.
+func TestBornStampZeroCycleNotRestamped(t *testing.T) {
+	for _, ideal := range []bool{false, true} {
+		name := "omega"
+		if ideal {
+			name = "ideal"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func(label string) *Network {
+				if ideal {
+					return MustNewIdeal(label, 8, 8)
+				}
+				return MustNew(label, 8, 8, 0)
+			}
+			e := sim.New()
+			fwd, rev := mk("forward"), mk("reverse")
+			var delivered *Packet
+			fwd.SetSink(3, SinkFunc(func(p *Packet) bool { delivered = p; return true }))
+			var reply *Packet
+			rev.SetSink(0, SinkFunc(func(p *Packet) bool { reply = p; return true }))
+			for p := 0; p < 8; p++ {
+				if p != 3 {
+					fwd.SetSink(p, SinkFunc(func(*Packet) bool { return true }))
+				}
+				if p != 0 {
+					rev.SetSink(p, SinkFunc(func(*Packet) bool { return true }))
+				}
+			}
+			e.Register("fwd", fwd)
+			e.Register("rev", rev)
+
+			req := &Packet{Dst: 3, Src: 0, Words: 1, Kind: Read, Addr: 3}
+			if !fwd.Offer(e.Now(), 0, req) {
+				t.Fatal("unloaded network refused an injection")
+			}
+			if !req.BornSet || req.Born != 0 {
+				t.Fatalf("cycle-0 injection: Born=%d BornSet=%v, want 0/true", req.Born, req.BornSet)
+			}
+			for e.Now() < 50 && delivered == nil {
+				e.Step()
+			}
+			if delivered == nil {
+				t.Fatal("request never delivered")
+			}
+
+			// The memory module preserves the request's stamp on the reply.
+			rep := &Packet{
+				Dst: 0, Src: 3, Words: 1, Kind: Reply, Addr: 3,
+				Born: delivered.Born, BornSet: delivered.BornSet,
+			}
+			injectAt := e.Now()
+			if injectAt == 0 {
+				t.Fatal("test needs the reply injected at a nonzero cycle")
+			}
+			if !rev.Offer(injectAt, 3, rep) {
+				t.Fatal("unloaded reverse network refused the reply")
+			}
+			if rep.Born != 0 {
+				t.Fatalf("reply re-stamped: Born=%d, want the original cycle-0 stamp", rep.Born)
+			}
+			for e.Now() < 100 && reply == nil {
+				e.Step()
+			}
+			if reply == nil {
+				t.Fatal("reply never delivered")
+			}
+			if lat := e.Now() - reply.Born; lat < injectAt {
+				t.Fatalf("monitored latency %d shorter than the forward trip (%d): stamp was lost", lat, injectAt)
+			}
+
+			// An unstamped packet injected later still gets stamped on entry.
+			p2 := &Packet{Dst: 1, Src: 4, Words: 1, Kind: Read, Addr: 1}
+			at := e.Now()
+			if !fwd.Offer(at, 4, p2) {
+				t.Fatal("injection refused")
+			}
+			if !p2.BornSet || p2.Born != at {
+				t.Fatalf("late injection: Born=%d BornSet=%v, want %d/true", p2.Born, p2.BornSet, at)
+			}
+		})
+	}
+}

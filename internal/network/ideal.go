@@ -51,8 +51,9 @@ type idealPkt struct {
 // port after the unloaded transit, subject only to that port's one-word-
 // per-cycle delivery rate and the sink's acceptance.
 func (n *Network) offerIdeal(now sim.Cycle, src int, p *Packet) bool {
-	if p.Born == 0 {
+	if !p.BornSet {
 		p.Born = now
+		p.BornSet = true
 	}
 	n.Injected++
 	n.WordsIn += int64(p.Words)

@@ -294,11 +294,13 @@ func (n *Network) Offer(now sim.Cycle, src int, p *Packet) bool {
 		n.Rejected++
 		return false
 	}
-	if p.Born == 0 {
-		// Stamp the injection time once; replies keep the original
-		// request's stamp so round-trip latency can be measured at the
-		// reverse network's delivery.
+	if !p.BornSet {
+		// Stamp the injection time once; replies carry BornSet from the
+		// original request so round-trip latency can be measured at the
+		// reverse network's delivery — even for requests genuinely
+		// injected at cycle 0, which a Born == 0 test would re-stamp.
 		p.Born = now
+		p.BornSet = true
 	}
 	q.push(p, now)
 	n.entryCount++
@@ -415,18 +417,22 @@ func (n *Network) Tick(now sim.Cycle) {
 }
 
 // InFlight reports the number of packets currently buffered anywhere in
-// the network.
+// the network. Accepted injections and deliveries are the only ways a
+// packet enters or leaves, so the counter difference is exact; keeping
+// this O(1) matters because idle predicates poll it every cycle.
 func (n *Network) InFlight() int {
-	if n.ideal {
-		return len(n.idealFlight)
+	return int(n.Injected - n.Delivered)
+}
+
+// NextEvent implements sim.IdleComponent: a drained network has nothing
+// to move, and packets otherwise make progress (or retry blocked hops)
+// every cycle. New injections arrive via Offer, which is external
+// stimulus, so an empty network reports Never.
+func (n *Network) NextEvent(now sim.Cycle) sim.Cycle {
+	if n.Injected > n.Delivered {
+		return now
 	}
-	total := n.entryCount
-	for _, row := range n.sw {
-		for _, x := range row {
-			total += x.inPkts + x.outPkts
-		}
-	}
-	return total
+	return sim.Never
 }
 
 // StaticRoute returns the sequence of output ports visited by a packet

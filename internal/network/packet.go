@@ -213,8 +213,15 @@ type Packet struct {
 	// buffer's full/empty bookkeeping, tags are buffer slot indices).
 	Tag uint64
 	// Born is the cycle the packet was injected, for performance
-	// monitoring.
+	// monitoring. A network stamps it on first injection; replies built
+	// from a request must copy Born and set BornSet so the reverse
+	// network preserves the request's stamp (round-trip latency is
+	// measured at reply delivery).
 	Born sim.Cycle
+	// BornSet records whether Born has been stamped. A bare Born == 0
+	// is ambiguous — cycle 0 is a legitimate injection time — so the
+	// flag, not the value, decides whether Offer stamps.
+	BornSet bool
 
 	// enq is the cycle the packet entered its current queue (congestion
 	// bookkeeping internal to the network).

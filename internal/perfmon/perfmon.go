@@ -64,12 +64,18 @@ func (t *Tracer) Post(cycle sim.Cycle, kind uint16, arg int64) {
 func (t *Tracer) Len() int { return len(t.Events) }
 
 // Histogram is a bank of counters over a fixed value range; values
-// outside the range land in the first or last bin.
+// outside the range land in the first or last bin. Like the hardware's
+// 32-bit counters, a bin saturates at its maximum instead of wrapping;
+// saturated increments are tallied in Overflow.
 type Histogram struct {
 	min, max int64
 	bins     []uint32
 	n        int64
 	sum      float64
+
+	// Overflow counts samples whose bin had already saturated at the
+	// 32-bit counter maximum.
+	Overflow int64
 }
 
 // NewHistogram returns a histogram of [min, max] with the given bin count
@@ -93,7 +99,11 @@ func (h *Histogram) Add(v int64) {
 	if i >= int64(len(h.bins)) {
 		i = int64(len(h.bins)) - 1
 	}
-	h.bins[i]++
+	if h.bins[i] == math.MaxUint32 {
+		h.Overflow++
+	} else {
+		h.bins[i]++
+	}
 	h.n++
 	h.sum += float64(v)
 }
@@ -128,43 +138,94 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
-// PrefetchProbe measures a PFU the way the paper's monitor does: issue
-// and arrival times per request, first-word latency per prefetch block,
-// and interarrival gaps between the remaining words.
-type PrefetchProbe struct {
-	issueAt    []sim.Cycle
-	arrivals   []sim.Cycle
-	latencies  []sim.Cycle // first-word latency per block
-	gaps       []sim.Cycle // interarrival within blocks
-	blockStart bool
+// blockStat is the probe's per-block measurement state: one record per
+// Fire, so back-to-back prefetches whose replies overlap in the network
+// never contaminate each other's statistics.
+type blockStat struct {
+	firstIssue sim.Cycle
+	issues     int
+	arrivals   int
+	lastArrive sim.Cycle
 }
 
-// AttachPrefetch instruments u; the probe replaces OnIssue/OnArrive.
+// PrefetchProbe measures a PFU the way the paper's monitor does: issue
+// and arrival times per request, first-word latency per prefetch block,
+// and interarrival gaps between the remaining words. Measurements are
+// keyed per block; an arrival is attributed to the oldest block that
+// still has requests outstanding (replies of one block are in request
+// order per module path, so across pipelined blocks the oldest-first
+// rule matches the hardware's delivery order).
+type PrefetchProbe struct {
+	blocks    []blockStat
+	firstOpen int         // index of the oldest possibly-incomplete block
+	latencies []sim.Cycle // first-word latency per block
+	gaps      []sim.Cycle // interarrival within blocks
+
+	// Spurious counts arrivals with no block outstanding (a reply that
+	// reached a PFU whose prefetch was retired — never attributed).
+	Spurious int64
+}
+
+// AttachPrefetch instruments u. Existing OnFire/OnIssue/OnArrive hooks
+// are chained, not replaced: the probe records its measurement and then
+// invokes whatever handler was installed before it, so multiple
+// observers can share one PFU.
 func AttachPrefetch(u *prefetch.PFU) *PrefetchProbe {
 	p := &PrefetchProbe{}
-	u.OnIssue = func(now sim.Cycle, seq int, addr uint64) {
-		if seq == 0 {
-			// New block.
-			p.issueAt = p.issueAt[:0]
-			p.arrivals = p.arrivals[:0]
-			p.blockStart = true
+	prevFire, prevIssue, prevArrive := u.OnFire, u.OnIssue, u.OnArrive
+	u.OnFire = func(addr uint64) {
+		p.blocks = append(p.blocks, blockStat{})
+		if prevFire != nil {
+			prevFire(addr)
 		}
-		p.issueAt = append(p.issueAt, now)
+	}
+	u.OnIssue = func(now sim.Cycle, seq int, addr uint64) {
+		if len(p.blocks) == 0 {
+			// Attached after the block fired: open it at first issue.
+			p.blocks = append(p.blocks, blockStat{})
+		}
+		b := &p.blocks[len(p.blocks)-1]
+		if b.issues == 0 {
+			b.firstIssue = now
+		}
+		b.issues++
+		if prevIssue != nil {
+			prevIssue(now, seq, addr)
+		}
 	}
 	u.OnArrive = func(now sim.Cycle, seq int) {
-		if p.blockStart {
-			// First datum of the block: latency from the block's first
-			// issue.
-			if len(p.issueAt) > 0 {
-				p.latencies = append(p.latencies, now-p.issueAt[0])
+		if b := p.oldestIncomplete(); b != nil {
+			if b.arrivals == 0 {
+				// First datum of the block: latency from the block's
+				// first issue.
+				p.latencies = append(p.latencies, now-b.firstIssue)
+			} else {
+				p.gaps = append(p.gaps, now-b.lastArrive)
 			}
-			p.blockStart = false
-		} else if len(p.arrivals) > 0 {
-			p.gaps = append(p.gaps, now-p.arrivals[len(p.arrivals)-1])
+			b.lastArrive = now
+			b.arrivals++
+		} else {
+			p.Spurious++
 		}
-		p.arrivals = append(p.arrivals, now)
+		if prevArrive != nil {
+			prevArrive(now, seq)
+		}
 	}
 	return p
+}
+
+// oldestIncomplete returns the earliest block with replies outstanding.
+// Issues only ever go to the newest block, so a completed block stays
+// complete and the scan pointer advances monotonically — attribution
+// stays O(1) amortized over a run of thousands of blocks.
+func (p *PrefetchProbe) oldestIncomplete() *blockStat {
+	for p.firstOpen < len(p.blocks)-1 && p.blocks[p.firstOpen].arrivals >= p.blocks[p.firstOpen].issues {
+		p.firstOpen++
+	}
+	if p.firstOpen < len(p.blocks) && p.blocks[p.firstOpen].arrivals < p.blocks[p.firstOpen].issues {
+		return &p.blocks[p.firstOpen]
+	}
+	return nil
 }
 
 // MeanLatency is the mean first-word latency over all blocks, in cycles.

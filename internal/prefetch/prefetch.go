@@ -68,8 +68,12 @@ type PFU struct {
 	// routeFn maps a word address to its memory-module forward port.
 	routeFn func(addr uint64) int
 
-	// OnIssue and OnArrive observe each request for performance
-	// monitoring (seq is the request index within the prefetch).
+	// OnFire, OnIssue and OnArrive observe the prefetch for performance
+	// monitoring: OnFire marks the start of each block (a Fire with a
+	// non-empty descriptor), OnIssue each request injected into the
+	// network (seq is the request index within the prefetch) and OnArrive
+	// each reply reaching the buffer.
+	OnFire   func(addr uint64)
 	OnIssue  func(now sim.Cycle, seq int, addr uint64)
 	OnArrive func(now sim.Cycle, seq int)
 
@@ -145,6 +149,9 @@ func (u *PFU) Fire(addr uint64) {
 	}
 	if u.active {
 		u.Prefetches++
+		if u.OnFire != nil {
+			u.OnFire(addr)
+		}
 	}
 }
 
@@ -154,6 +161,25 @@ func (u *PFU) Active() bool { return u.active }
 
 // Length returns the armed length.
 func (u *PFU) Length() int { return u.length }
+
+// NextEvent implements sim.IdleComponent, mirroring Tick's early-return
+// guards. A PFU with nothing to issue is woken externally: Fire starts a
+// new block, Deliver completes one, and the owning CE (which ticks before
+// its PFU) frees buffer space by consuming. A page-cross suspension is a
+// pure timer, so its expiry is reported for fast-forwarding. The
+// issue-but-refused state returns now because StallCycles accrues there.
+func (u *PFU) NextEvent(now sim.Cycle) sim.Cycle {
+	if !u.active || u.issued >= u.length {
+		return sim.Never
+	}
+	if now < u.resumeAt {
+		return u.resumeAt
+	}
+	if u.issued-u.consumed >= BufferWords {
+		return sim.Never // full: woken when the CE consumes
+	}
+	return now
+}
 
 // Tick issues the next request if the PFU is active, the buffer has a
 // free slot, the page-crossing suspension (if any) has elapsed, and the
