@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-engine ci
+.PHONY: all build test vet race bench bench-engine bench-telemetry cover ci
 
 all: ci
 
@@ -29,5 +29,22 @@ bench:
 # bit-identical between the two sub-benchmarks).
 bench-engine:
 	$(GO) test -run NONE -bench BenchmarkEngineQuiescence -benchtime 10x .
+
+# Telemetry disabled vs enabled on the engine benchmark workload: "off"
+# must stay within noise of the pre-telemetry engine (the registry is
+# never built); "on" shows the cost of sampling every 2000 cycles.
+bench-telemetry:
+	$(GO) test -run NONE -bench BenchmarkTelemetryOverhead -benchtime 10x .
+
+# Coverage with a floor on the telemetry layer (its correctness story is
+# "every sample is bit-exact", so the package must stay well covered).
+TELEMETRY_COVER_FLOOR ?= 85
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@pct=$$($(GO) test -cover ./internal/telemetry | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/telemetry statement coverage: $$pct% (floor $(TELEMETRY_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
+	{ echo "telemetry coverage below floor"; exit 1; }
 
 ci: vet test race bench-engine

@@ -24,6 +24,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/perfect"
 	"repro/internal/tables"
+	"repro/internal/telemetry"
 )
 
 // printOnce renders an exhibit the first time a benchmark runs it.
@@ -310,6 +311,50 @@ func BenchmarkEngineQuiescence(b *testing.B) {
 	}
 	b.Run("naive", func(b *testing.B) { workload(b, true) })
 	b.Run("quiescent", func(b *testing.B) { workload(b, false) })
+}
+
+// BenchmarkTelemetryOverhead measures what the observability layer
+// costs, on the same DOALL-startup-heavy workload as
+// BenchmarkEngineQuiescence (quiescent path): "off" never builds a
+// registry — the acceptance gate is that this stays within noise of the
+// pre-telemetry engine — and "on" samples the full registry every 2000
+// cycles with phase marks wired through the runtime.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	workload := func(b *testing.B, observe bool) {
+		var samples int
+		for i := 0; i < b.N; i++ {
+			cfg := core.ConfigClusters(4)
+			cfg.Global.Words = 1 << 16
+			m, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var s *telemetry.Sampler
+			if observe {
+				s = m.NewSampler(2000)
+			}
+			rt := cedarfort.New(m, cedarfort.DefaultConfig())
+			if s != nil {
+				rt.Phases = s
+			}
+			for l := 0; l < 64; l++ {
+				if _, err := rt.XDOALL(32, cedarfort.SelfScheduled, func(ctx *cedarfort.Ctx, iter int) {
+					ctx.Emit(isa.NewCompute(500))
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if s != nil {
+				s.Final()
+				samples = len(s.Samples())
+			}
+		}
+		if observe {
+			b.ReportMetric(float64(samples), "samples/op")
+		}
+	}
+	b.Run("off", func(b *testing.B) { workload(b, false) })
+	b.Run("on", func(b *testing.B) { workload(b, true) })
 }
 
 // BenchmarkSimulatorSpeed measures the raw engine rate on the full

@@ -5,20 +5,33 @@
 //	cedarsim -kernel cg -clusters 2 -n 8192 -iters 5
 //	cedarsim -kernel vl -clusters 1 -n 8192 -noprefetch
 //	cedarsim -kernel tm -clusters 4 -n 4096 -probe
+//	cedarsim -kernel rk -trace-out trace.json -sample-every 500
 //
 // Kernels: rk (rank-64 update), vl (vector load), tm (tridiagonal
 // matrix-vector multiply), cg (conjugate gradient). Modes apply to rk:
 // nopref, pref, cache (Table 1's three versions).
+//
+// Telemetry: -metrics-out dumps the final metrics registry,
+// -trace-out writes a Chrome trace_event JSON timeline (open it at
+// https://ui.perfetto.dev or chrome://tracing), -sample-every sets the
+// sampling interval, -flame prints the text activity summary, and
+// -pprof serves net/http/pprof plus expvar runtime metrics for
+// profiling the simulator itself.
 package main
 
 import (
+	_ "expvar" // /debug/vars runtime metrics on the -pprof server
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -pprof server
 	"os"
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,13 +42,34 @@ func main() {
 	iters := flag.Int("iters", 5, "CG iterations")
 	noPrefetch := flag.Bool("noprefetch", false, "disable prefetching (vl, tm, cg)")
 	probe := flag.Bool("probe", true, "attach the performance monitor to CE 0's prefetch unit")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics registry to this file")
+	traceOut := flag.String("trace-out", "", "write a Perfetto-loadable trace_event JSON timeline to this file")
+	sampleEvery := flag.Int64("sample-every", 2000, "telemetry sampling interval in cycles")
+	flame := flag.Bool("flame", false, "print the flamegraph-style activity summary")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cedarsim: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/ (runtime metrics at /debug/vars)\n", *pprofAddr)
+	}
 
 	m, err := core.New(core.ConfigClusters(*clusters))
 	if err != nil {
 		fail(err)
 	}
 	usePrefetch := !*noPrefetch
+
+	// Telemetry is opt-in: without these flags the machine never builds
+	// a registry and the run pays nothing.
+	var sampler *telemetry.Sampler
+	if *metricsOut != "" || *traceOut != "" || *flame {
+		sampler = m.NewSampler(sim.Cycle(*sampleEvery))
+	}
 
 	var res kernels.Result
 	switch *kernel {
@@ -59,6 +93,9 @@ func main() {
 		res, err = kernels.TriMatVec(m, *n, usePrefetch, *probe)
 	case "cg":
 		rt := cedarfort.New(m, cedarfort.DefaultConfig())
+		if sampler != nil {
+			rt.Phases = sampler
+		}
 		p := kernels.NewCGProblem(*n, 64)
 		var cg kernels.CGResult
 		cg, err = kernels.CG(m, rt, p, *iters, usePrefetch, *probe)
@@ -78,6 +115,36 @@ func main() {
 	fmt.Printf("network: fwd injected=%d delivered=%d; rev injected=%d delivered=%d\n",
 		m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
 	fmt.Print(m.Utilization())
+
+	if sampler == nil {
+		return
+	}
+	sampler.Final()
+	if *flame {
+		if err := m.MachineFlame(sampler).Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(m.Registry().Dump()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics: wrote %d metrics to %s\n", m.Registry().Len(), *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteTrace(f, sampler, nil); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: wrote %d samples to %s (open at https://ui.perfetto.dev)\n",
+			len(sampler.Samples()), *traceOut)
+	}
 }
 
 func fail(err error) {

@@ -45,6 +45,7 @@ func main() {
 	if *rate > 0 {
 		rateList = []float64{*rate}
 	}
+	var overflow int64
 	for _, s := range srcList {
 		for _, r := range rateList {
 			res, err := memchar.Run(memchar.Config{
@@ -58,9 +59,11 @@ func main() {
 				fmt.Sprintf("%.2f", res.OfferedWordsPerCycle),
 				fmt.Sprintf("%.2f", res.DeliveredWordsPerCycle),
 				report.F(res.MeanLatency))
+			overflow += res.LatencyHist.Overflow
 		}
 	}
 	t.AddNote("aggregate memory capacity: 32 modules x 0.5 requests/cycle = 16 words/cycle (768 MB/s)")
+	t.NoteOverflow("latency histogram", overflow)
 	if *ideal {
 		t.AddNote("contentionless fabric: any residual loss is the memory modules' own")
 	}
@@ -73,6 +76,7 @@ func runStrides(cycles int, ideal bool) {
 	t := report.NewTable(
 		"Stride sweep: delivered bandwidth vs access stride (8 sources, full rate)",
 		"stride", "delivered w/cyc", "latency (cyc)", "note")
+	var overflow int64
 	for _, st := range []int{1, 2, 3, 4, 8, 16, 31, 32, 33, 64} {
 		res, err := memchar.Run(memchar.Config{
 			Sources: 8, RatePerSource: 1, Stride: st,
@@ -81,6 +85,7 @@ func runStrides(cycles int, ideal bool) {
 		if err != nil {
 			fail(err)
 		}
+		overflow += res.LatencyHist.Overflow
 		mods := 32 / gcd(32, st)
 		note := fmt.Sprintf("%d modules per stream", mods)
 		if mods == 1 {
@@ -93,6 +98,7 @@ func runStrides(cycles int, ideal bool) {
 			report.F(res.MeanLatency), note)
 	}
 	t.AddNote("double-word interleave: stride patterns sharing factors with 32 concentrate on few modules")
+	t.NoteOverflow("latency histogram", overflow)
 	if err := t.Render(os.Stdout); err != nil {
 		fail(err)
 	}

@@ -1,0 +1,13 @@
+package cache
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics publishes the cache's counters under prefix (for
+// example "cluster0/cache").
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/hits", &c.Hits)
+	reg.Counter(prefix+"/misses", &c.Misses)
+	reg.Counter(prefix+"/writebacks", &c.Writebacks)
+	reg.Counter(prefix+"/bank_stalls", &c.BankStalls)
+	reg.Counter(prefix+"/mshr_stalls", &c.MSHRStalls)
+}

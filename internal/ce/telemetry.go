@@ -1,0 +1,16 @@
+package ce
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics publishes the CE's counters under prefix (for example
+// "cluster0/ce3"). The exported fields stay the backing store — the
+// registry reads them through closures at snapshot time, so the
+// execution path is untouched.
+func (c *CE) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/flops", &c.Flops)
+	reg.Counter(prefix+"/ops_done", &c.OpsDone)
+	reg.Counter(prefix+"/stall_mem", &c.StallMem)
+	reg.Counter(prefix+"/stall_net", &c.StallNet)
+	reg.Counter(prefix+"/idle_cycles", &c.IdleCycles)
+	reg.Gauge(prefix+"/finished_at", func() int64 { return int64(c.FinishedAt) })
+}

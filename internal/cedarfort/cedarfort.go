@@ -90,10 +90,34 @@ func DefaultConfig() Config {
 	}
 }
 
+// PhaseObserver receives workload phase-boundary marks from the
+// runtime: DOALL start/end and barrier entry/exit. The telemetry
+// sampler implements it; anything else that wants phase-aligned
+// measurements can too.
+type PhaseObserver interface {
+	PhaseStart(name string)
+	PhaseEnd(name string)
+}
+
 // Runtime executes parallel constructs on a machine.
 type Runtime struct {
 	M   *core.Machine
 	Cfg Config
+
+	// Phases, when non-nil, is notified at workload phase boundaries.
+	Phases PhaseObserver
+}
+
+func (r *Runtime) phaseStart(name string) {
+	if r.Phases != nil {
+		r.Phases.PhaseStart(name)
+	}
+}
+
+func (r *Runtime) phaseEnd(name string) {
+	if r.Phases != nil {
+		r.Phases.PhaseEnd(name)
+	}
 }
 
 // New returns a runtime for m.
@@ -158,6 +182,7 @@ func (r *Runtime) Serial(d sim.Cycle) {
 // iteration on the claiming CE and emits that iteration's operations.
 func (r *Runtime) XDOALL(n int, sched Schedule, body func(ctx *Ctx, iter int)) (sim.Cycle, error) {
 	r.requireIdle("XDOALL")
+	r.phaseStart("xdoall")
 	start := r.M.Eng.Now()
 	ces := r.M.CEs()
 	switch sched {
@@ -176,6 +201,7 @@ func (r *Runtime) XDOALL(n int, sched Schedule, body func(ctx *Ctx, iter int)) (
 		return 0, fmt.Errorf("cedarfort: unknown schedule %d", sched)
 	}
 	end, err := r.M.RunUntilIdle(maxCycles(n))
+	r.phaseEnd("xdoall")
 	return end - start, err
 }
 
@@ -249,6 +275,7 @@ func (r *Runtime) dispatchStaticLoop(c *ce.CE, id, p, n int, startup sim.Cycle, 
 // memory; otherwise clusters self-schedule from a global counter.
 func (r *Runtime) SDOALL(n int, affinity bool, body func(ctx *Ctx, iter int)) (sim.Cycle, error) {
 	r.requireIdle("SDOALL")
+	r.phaseStart("sdoall")
 	start := r.M.Eng.Now()
 	var counter uint64
 	hasCounter := !affinity
@@ -262,6 +289,7 @@ func (r *Runtime) SDOALL(n int, affinity bool, body func(ctx *Ctx, iter int)) (s
 		r.dispatchSDOALLLeader(leader, cl, ci, nclusters, counter, hasCounter, n, body)
 	}
 	end, err := r.M.RunUntilIdle(maxCycles(n))
+	r.phaseEnd("sdoall")
 	return end - start, err
 }
 
@@ -400,8 +428,13 @@ func (b *Barrier) Emit(g *isa.Gen) {
 	arrive := isa.NewSync(b.counter, network.FetchAndAdd(1))
 	arrive.OnDone = func(v int64, ok bool) {
 		myGen := v / int64(b.n) // generation this arrival belongs to
+		if int(v%int64(b.n)) == 0 {
+			// First arriver of this generation: the barrier episode opens.
+			b.r.phaseStart("barrier")
+		}
 		if int(v%int64(b.n)) == b.n-1 {
-			// Last arriver: bump the generation word.
+			// Last arriver: bump the generation word, releasing the rest.
+			b.r.phaseEnd("barrier")
 			g.EmitFront(isa.NewSync(b.gen, network.SyncSpec{Test: network.TestAlways, Op: network.OpAdd, Operand: 1}))
 			return
 		}

@@ -1,0 +1,11 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics publishes the IP's counters under prefix (for example
+// "cluster0/ip").
+func (ip *IP) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/requests", &ip.Requests)
+	reg.Counter(prefix+"/busy_cycles", &ip.BusyCycles)
+	reg.Gauge(prefix+"/pending", func() int64 { return int64(ip.Pending()) })
+}

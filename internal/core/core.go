@@ -28,6 +28,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config describes a Cedar machine.
@@ -116,6 +117,10 @@ type Machine struct {
 	Clusters []*cluster.Cluster
 
 	ces []*ce.CE
+
+	// reg is the lazily built metrics registry (see Registry in
+	// telemetry.go); a machine that never asks for it pays nothing.
+	reg *telemetry.Registry
 
 	globalAllocNext uint64
 }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Registry returns the machine's metrics registry, building and
+// populating it on first call: every component's counters and gauges
+// appear under the topology-mirroring paths documented in the telemetry
+// package. Registration is guarded — a machine that never calls
+// Registry carries no telemetry state and pays nothing on the fast
+// path.
+func (m *Machine) Registry() *telemetry.Registry {
+	if m.reg == nil {
+		m.reg = telemetry.NewRegistry()
+		m.registerAll(m.reg)
+	}
+	return m.reg
+}
+
+// registerAll walks the machine in assembly order, so metric
+// registration order (and therefore trace row order) is deterministic.
+func (m *Machine) registerAll(reg *telemetry.Registry) {
+	for cl, clu := range m.Clusters {
+		for i, c := range clu.CEs {
+			c.RegisterMetrics(reg, fmt.Sprintf("cluster%d/ce%d", cl, i))
+		}
+		for i, c := range clu.CEs {
+			c.PFU().RegisterMetrics(reg, fmt.Sprintf("cluster%d/pfu%d", cl, i))
+		}
+		clu.Cache.RegisterMetrics(reg, fmt.Sprintf("cluster%d/cache", cl))
+		if clu.IPs != nil {
+			clu.IPs.RegisterMetrics(reg, fmt.Sprintf("cluster%d/ip", cl))
+		}
+	}
+	m.Fwd.RegisterMetrics(reg, "net/fwd")
+	m.Rev.RegisterMetrics(reg, "net/rev")
+	for mod := 0; mod < m.Global.Modules(); mod++ {
+		m.Global.Module(mod).RegisterMetrics(reg, fmt.Sprintf("gmem/mod%d", mod))
+	}
+	// Engine skip/jump statistics are host-side diagnostics: they
+	// legitimately differ between the quiescence-aware and naive paths,
+	// so they are registered fenced off from fingerprints.
+	reg.Diagnostic("engine/skipped_ticks", &m.Eng.SkippedTicks)
+	reg.Diagnostic("engine/fast_forwarded", &m.Eng.FastForwarded)
+}
+
+// NewSampler builds a phase-interval sampler over the machine's
+// registry (periodic sample every `every` cycles; 0 for phase marks and
+// Final only) and installs it as the engine's probe.
+func (m *Machine) NewSampler(every sim.Cycle) *telemetry.Sampler {
+	s := telemetry.NewSampler(m.Registry(), every)
+	s.Attach(m.Eng)
+	return s
+}
+
+// MachineFlame renders the sampler's interval series as a compact text
+// activity summary: one row per CE (busy fraction), one per network
+// (words moved against the one-word-per-port-per-cycle injection bound)
+// and one for the global memory (aggregate module busy fraction).
+func (m *Machine) MachineFlame(s *telemetry.Sampler) *report.Flame {
+	reg := s.Registry()
+	idx := map[string]int{}
+	for i, p := range reg.Paths() {
+		idx[p] = i
+	}
+	ivs := s.Intervals()
+	delta := func(iv telemetry.Interval, path string) int64 {
+		i, ok := idx[path]
+		if !ok {
+			return 0
+		}
+		return iv.Delta[i]
+	}
+	f := report.NewFlame(fmt.Sprintf("Machine activity (%d intervals)", len(ivs)))
+	for cl, clu := range m.Clusters {
+		for i := range clu.CEs {
+			prefix := fmt.Sprintf("cluster%d/ce%d", cl, i)
+			cells := make([]float64, len(ivs))
+			for k, iv := range ivs {
+				notBusy := delta(iv, prefix+"/idle_cycles") +
+					delta(iv, prefix+"/stall_mem") +
+					delta(iv, prefix+"/stall_net")
+				cells[k] = 1 - float64(notBusy)/float64(iv.Cycles())
+			}
+			f.AddRow(prefix, cells)
+		}
+	}
+	for _, net := range []struct {
+		prefix string
+		n      interface{ Ports() int }
+	}{{"net/fwd", m.Fwd}, {"net/rev", m.Rev}} {
+		cells := make([]float64, len(ivs))
+		for k, iv := range ivs {
+			words := delta(iv, net.prefix+"/words_in")
+			cells[k] = float64(words) / float64(int64(net.n.Ports())*int64(iv.Cycles()))
+		}
+		f.AddRow(net.prefix, cells)
+	}
+	mods := m.Global.Modules()
+	cells := make([]float64, len(ivs))
+	for k, iv := range ivs {
+		var busy int64
+		for mod := 0; mod < mods; mod++ {
+			busy += delta(iv, fmt.Sprintf("gmem/mod%d/busy_cycles", mod))
+		}
+		cells[k] = float64(busy) / float64(int64(mods)*int64(iv.Cycles()))
+	}
+	f.AddRow("gmem", cells)
+	if len(ivs) > 0 {
+		f.AddNote(fmt.Sprintf("cycles %d..%d, %d cycles per cell (last cell may be shorter)",
+			ivs[0].From, ivs[len(ivs)-1].To, ivs[0].Cycles()))
+	}
+	return f
+}

@@ -1,0 +1,14 @@
+package gmem
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics publishes the module's counters under prefix (for
+// example "gmem/mod7").
+func (m *Module) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/served", &m.Served)
+	reg.Counter(prefix+"/sync_ops", &m.SyncOps)
+	reg.Counter(prefix+"/reads", &m.Reads)
+	reg.Counter(prefix+"/writes", &m.Writes)
+	reg.Counter(prefix+"/busy_cycles", &m.BusyCycles)
+	reg.Gauge(prefix+"/queue_len", func() int64 { return int64(m.QueueLen()) })
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/gmem"
 	"repro/internal/network"
+	"repro/internal/perfmon"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,10 @@ type Result struct {
 	DeliveredWordsPerCycle float64
 	// MeanLatency is the mean read round trip in cycles.
 	MeanLatency float64
+	// LatencyHist is the histogrammer attached to the reply path: the
+	// full round-trip distribution behind MeanLatency, including the
+	// Overflow tally of samples whose saturated bins stopped counting.
+	LatencyHist *perfmon.Histogram
 	// Rejected counts injections refused by entry backpressure.
 	Rejected int64
 }
@@ -115,11 +120,17 @@ func Run(cfg Config) (Result, error) {
 		fwd.SetSink(p, network.SinkFunc(func(*network.Packet) bool { return true }))
 	}
 
+	// The reply path is measured the way the hardware monitor would: a
+	// histogrammer on the round-trip latency signal. 0..4095 cycles at
+	// one bin per cycle covers any latency a finite-queue run produces.
+	latHist := perfmon.NewHistogram(0, 4095, 4096)
 	var delivered, latSum int64
 	for p := 0; p < 64; p++ {
 		rev.SetSink(p, network.SinkFunc(func(pk *network.Packet) bool {
 			delivered++
-			latSum += int64(eng.Now() - pk.Born)
+			lat := int64(eng.Now() - pk.Born)
+			latSum += lat
+			latHist.Add(lat)
 			return true
 		}))
 	}
@@ -172,6 +183,7 @@ func Run(cfg Config) (Result, error) {
 		Config:                 cfg,
 		OfferedWordsPerCycle:   float64(cfg.Sources) * cfg.RatePerSource,
 		DeliveredWordsPerCycle: float64(delivered) / float64(cfg.Cycles),
+		LatencyHist:            latHist,
 		Rejected:               fwd.Rejected,
 	}
 	if delivered > 0 {

@@ -144,3 +144,26 @@ func TestSweeps(t *testing.T) {
 	}
 	_ = sim.Cycle(0)
 }
+
+// TestLatencyHistogramWired: the reply path is measured through the
+// perfmon histogrammer, so the distribution (and its saturation tally)
+// backs the reported mean exactly.
+func TestLatencyHistogramWired(t *testing.T) {
+	r, err := Run(Config{Sources: 8, RatePerSource: 0.5, Stride: 1, Cycles: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.LatencyHist
+	if h == nil || h.Count() == 0 {
+		t.Fatal("latency histogram missing or empty")
+	}
+	if got := h.Mean(); got != r.MeanLatency {
+		t.Fatalf("histogram mean %.4f != reported mean %.4f", got, r.MeanLatency)
+	}
+	if h.Overflow != 0 {
+		t.Fatalf("finite run saturated %d histogram bins", h.Overflow)
+	}
+	if q := h.Quantile(0.5); q < 8 {
+		t.Fatalf("median latency %d below the 8-cycle minimum", q)
+	}
+}

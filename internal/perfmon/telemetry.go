@@ -1,0 +1,24 @@
+package perfmon
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// TraceEvents converts a tracer's captured events into telemetry trace
+// instants, naming each event kind through names (kinds without an
+// entry render as "event<kind>"). The result feeds telemetry.WriteTrace
+// so software-posted monitor events appear on the exported timeline
+// alongside the sampled counters.
+func TraceEvents(t *Tracer, names map[uint16]string) []telemetry.Event {
+	out := make([]telemetry.Event, 0, len(t.Events))
+	for _, e := range t.Events {
+		name, ok := names[e.Kind]
+		if !ok {
+			name = fmt.Sprintf("event%d", e.Kind)
+		}
+		out = append(out, telemetry.Event{Cycle: e.Cycle, Name: name, Arg: e.Arg})
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package prefetch
+
+import "repro/internal/telemetry"
+
+// Outstanding reports the requests issued but not yet arrived for the
+// current prefetch — the in-flight depth the unit exists to sustain.
+func (u *PFU) Outstanding() int { return u.issued - u.arrived }
+
+// RegisterMetrics publishes the PFU's counters under prefix (for example
+// "cluster0/pfu3").
+func (u *PFU) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/prefetches", &u.Prefetches)
+	reg.Counter(prefix+"/issued", &u.Issued)
+	reg.Counter(prefix+"/page_crossings", &u.PageCrossings)
+	reg.Counter(prefix+"/stall_cycles", &u.StallCycles)
+	reg.Gauge(prefix+"/outstanding", func() int64 { return int64(u.Outstanding()) })
+}

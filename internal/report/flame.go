@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// flameRamp shades a utilization in [0,1]; one character per cell keeps
+// a 32-CE machine's activity over hundreds of intervals on one screen.
+const flameRamp = " .:-=+*#%@"
+
+// Flame is a compact text flamegraph-style activity summary: one row
+// per component, one column per sampling interval, each cell shading
+// that component's utilization of the interval.
+type Flame struct {
+	Title string
+	rows  []flameRow
+	notes []string
+}
+
+type flameRow struct {
+	label string
+	cells []float64
+}
+
+// NewFlame returns an empty flame summary.
+func NewFlame(title string) *Flame { return &Flame{Title: title} }
+
+// AddRow appends a component row; cells are utilizations in [0,1]
+// (clamped at render time), one per interval.
+func (f *Flame) AddRow(label string, cells []float64) {
+	f.rows = append(f.rows, flameRow{label: label, cells: cells})
+}
+
+// AddNote appends a footnote line rendered under the summary.
+func (f *Flame) AddNote(note string) { f.notes = append(f.notes, note) }
+
+// Rows reports the number of component rows.
+func (f *Flame) Rows() int { return len(f.rows) }
+
+// shade maps a utilization to its ramp character.
+func shade(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v*float64(len(flameRamp)-1) + 0.5)
+	return flameRamp[i]
+}
+
+// Render writes the summary: aligned labels, one shaded cell per
+// interval, and a legend.
+func (f *Flame) Render(w io.Writer) error {
+	width := 0
+	for _, r := range f.rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	var b strings.Builder
+	if f.Title != "" {
+		b.WriteString(f.Title + "\n")
+	}
+	for _, r := range f.rows {
+		b.WriteString(fmt.Sprintf("%-*s |", width, r.label))
+		for _, c := range r.cells {
+			b.WriteByte(shade(c))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString(fmt.Sprintf("%-*s  legend: '%c'=0%%", width, "", flameRamp[0]))
+	b.WriteString(fmt.Sprintf(" ... '%c'=100%% busy per interval\n", flameRamp[len(flameRamp)-1]))
+	for _, n := range f.notes {
+		b.WriteString("  " + n + "\n")
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NoteOverflow appends the histogram-saturation footnote when overflow
+// is non-zero: a saturated 32-bit histogrammer counter stops counting,
+// so any statistic derived from the affected bins is a lower bound.
+func (t *Table) NoteOverflow(name string, overflow int64) {
+	if overflow <= 0 {
+		return
+	}
+	t.AddNote(fmt.Sprintf("%s: %d samples hit saturated histogram bins; derived counts are lower bounds", name, overflow))
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlameRender(t *testing.T) {
+	f := NewFlame("Activity")
+	f.AddRow("cluster0/ce0", []float64{0, 0.5, 1})
+	f.AddRow("gmem", []float64{1, 1, 1})
+	f.AddNote("a footnote")
+	if f.Rows() != 2 {
+		t.Fatalf("Rows = %d", f.Rows())
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Activity", "cluster0/ce0", "legend", "a footnote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cells render one ramp character per interval between the | bars:
+	// 0 -> ' ', 0.5 -> middle of the ramp, 1 -> '@'.
+	if !strings.Contains(out, "cluster0/ce0 | +@|") {
+		t.Fatalf("CE row cells wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|@@@|") {
+		t.Fatalf("saturated row cells wrong:\n%s", out)
+	}
+}
+
+func TestShadeClamps(t *testing.T) {
+	if shade(-0.5) != flameRamp[0] {
+		t.Fatal("negative utilization not clamped to empty")
+	}
+	if shade(1.5) != flameRamp[len(flameRamp)-1] {
+		t.Fatal("over-unity utilization not clamped to full")
+	}
+	if shade(0) != ' ' || shade(1) != '@' {
+		t.Fatal("ramp endpoints wrong")
+	}
+}
+
+func TestNoteOverflow(t *testing.T) {
+	tb := NewTable("T", "col")
+	tb.AddRow("x")
+	tb.NoteOverflow("latency histogram", 0)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "saturated") {
+		t.Fatal("overflow note rendered for zero overflow")
+	}
+
+	tb2 := NewTable("T", "col")
+	tb2.AddRow("x")
+	tb2.NoteOverflow("latency histogram", 12)
+	buf.Reset()
+	if err := tb2.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "latency histogram: 12 samples hit saturated histogram bins") {
+		t.Fatalf("overflow note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "lower bounds") {
+		t.Fatalf("overflow note does not flag the lower-bound caveat:\n%s", out)
+	}
+}

@@ -106,6 +106,20 @@ type IdleComponent interface {
 	NextEvent(now Cycle) Cycle
 }
 
+// Probe is the telemetry sampler's view of the engine. NextSample
+// returns the next cycle at or after now at which the probe wants a
+// snapshot (Never for none); SampleNow is called with that cycle once
+// simulated time reaches it, after deferred skip accounting has been
+// settled and before the cycle executes. The engine lands on sample
+// boundaries exactly — a fast-forward jump is capped at the next
+// boundary — but landing there only re-queries NextEvent; it never
+// ticks a component that had no work, so sampling cannot perturb the
+// simulation (DESIGN.md §4.1).
+type Probe interface {
+	NextSample(now Cycle) Cycle
+	SampleNow(now Cycle)
+}
+
 // SkipAware is optionally implemented by components whose per-cycle tick
 // accrues counters even when idle (the CE's IdleCycles). When the engine
 // elides ticks, it calls SkipCycles with the half-open span [from, to) of
@@ -132,6 +146,10 @@ type Engine struct {
 	lastTick []Cycle
 
 	quiescence bool
+	ticking    bool
+
+	probe      Probe
+	nextSample Cycle
 
 	// SkippedTicks counts component ticks elided at executed cycles;
 	// FastForwarded counts whole cycles jumped over because every
@@ -143,7 +161,7 @@ type Engine struct {
 
 // New returns an empty engine at cycle zero with quiescence awareness
 // enabled.
-func New() *Engine { return &Engine{quiescence: true} }
+func New() *Engine { return &Engine{quiescence: true, nextSample: Never} }
 
 // SetQuiescence enables or disables the quiescence-aware fast path.
 // Disabled, the engine ticks every component every cycle (the naive
@@ -159,6 +177,36 @@ func (e *Engine) SetQuiescence(on bool) {
 
 // Quiescence reports whether the fast path is enabled.
 func (e *Engine) Quiescence() bool { return e.quiescence }
+
+// SetProbe installs (or, with nil, removes) the telemetry probe. The
+// probe is shared by both engine paths, so a sampled run records the
+// same series whichever path executes it.
+func (e *Engine) SetProbe(p Probe) {
+	e.probe = p
+	e.nextSample = Never
+	if p != nil {
+		e.nextSample = p.NextSample(e.now)
+	}
+}
+
+// maybeSample takes any probe snapshots due at the current cycle. It
+// runs before the cycle executes on both engine paths, so a sample
+// observes the architected state exactly as it stood when cycle now was
+// about to begin.
+func (e *Engine) maybeSample() {
+	if e.probe == nil {
+		return
+	}
+	for e.now >= e.nextSample {
+		e.Settle()
+		e.probe.SampleNow(e.now)
+		ns := e.probe.NextSample(e.now + 1)
+		if ns <= e.now {
+			ns = e.now + 1
+		}
+		e.nextSample = ns
+	}
+}
 
 // Register adds a component to the tick order. Components are ticked in
 // registration order each cycle; registration order is therefore part of
@@ -198,11 +246,22 @@ func (e *Engine) Step() {
 		e.advance(e.now + 1)
 		return
 	}
+	e.maybeSample()
+	e.ticking = true
 	for _, c := range e.comps {
 		c.Tick(e.now)
 	}
+	e.ticking = false
 	e.now++
 }
+
+// MidCycle reports whether the engine is inside the component loop of
+// the current cycle. Counter reads taken mid-cycle observe a mixture of
+// before- and after-tick state that depends on the caller's tick-slot
+// position; the telemetry sampler uses this to downgrade mid-cycle
+// phase marks to label-only records so both engine paths stay
+// bit-identical.
+func (e *Engine) MidCycle() bool { return e.ticking }
 
 // advance executes the cycle at e.now on the quiescence path, then moves
 // time forward: by one cycle normally, or in a single jump to the
@@ -212,8 +271,10 @@ func (e *Engine) Step() {
 // the naive path; a jump happens only when no component ticked at all,
 // which guarantees the queried wake-up times are still valid.
 func (e *Engine) advance(limit Cycle) {
+	e.maybeSample()
 	minNext := Never
 	ticked := false
+	e.ticking = true
 	for i, c := range e.comps {
 		if ic := e.idle[i]; ic != nil {
 			if ne := ic.NextEvent(e.now); ne > e.now {
@@ -231,10 +292,16 @@ func (e *Engine) advance(limit Cycle) {
 		e.lastTick[i] = e.now
 		c.Tick(e.now)
 	}
+	e.ticking = false
 	if !ticked {
 		target := minNext
 		if target > limit {
 			target = limit
+		}
+		// Land exactly on the next sample boundary so the probe observes
+		// it; the landing re-runs the NextEvent queries but ticks nothing.
+		if target > e.nextSample {
+			target = e.nextSample
 		}
 		if target > e.now+1 {
 			e.FastForwarded += int64(target - e.now - 1)
@@ -248,8 +315,13 @@ func (e *Engine) advance(limit Cycle) {
 // Settle flushes deferred skip accounting: every SkipAware component is
 // credited for the cycles [lastTick+1, now) the engine never executed for
 // it. Run and RunUntil call this on return; callers driving Step directly
-// must call it before reading skip-accrued counters.
+// must call it before reading skip-accrued counters. On the naive path
+// there is never anything deferred (lastTick is not maintained there),
+// so Settle is a no-op.
 func (e *Engine) Settle() {
+	if !e.quiescence {
+		return
+	}
 	for i, sa := range e.skip {
 		if sa == nil {
 			continue

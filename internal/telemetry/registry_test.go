@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRegisterAndRead(t *testing.T) {
+	reg := NewRegistry()
+	var stalls, flops int64 = 7, 42
+	reg.Counter("cluster0/ce3/stalls", &stalls)
+	reg.Counter("cluster0/ce3/flops", &flops)
+	inFlight := int64(3)
+	reg.Gauge("net/fwd/in_flight", func() int64 { return inFlight })
+	var skipped int64 = 99
+	reg.Diagnostic("engine/skipped_ticks", &skipped)
+
+	if reg.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", reg.Len())
+	}
+	want := []string{"cluster0/ce3/stalls", "cluster0/ce3/flops", "net/fwd/in_flight", "engine/skipped_ticks"}
+	got := reg.Paths()
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("Paths[%d] = %q, want %q (registration order)", i, got[i], p)
+		}
+	}
+	if v, ok := reg.Value("cluster0/ce3/stalls"); !ok || v != 7 {
+		t.Fatalf("Value(stalls) = %d,%v", v, ok)
+	}
+	stalls = 8 // the registry is a view, not a copy
+	if v, _ := reg.Value("cluster0/ce3/stalls"); v != 8 {
+		t.Fatalf("Value(stalls) after mutation = %d, want 8", v)
+	}
+	if _, ok := reg.Value("no/such/metric"); ok {
+		t.Fatal("Value on unknown path reported ok")
+	}
+	if k, ok := reg.KindOf("net/fwd/in_flight"); !ok || k != Gauge {
+		t.Fatalf("KindOf(in_flight) = %v,%v, want Gauge", k, ok)
+	}
+	if k, _ := reg.KindOf("engine/skipped_ticks"); k != Diagnostic {
+		t.Fatalf("KindOf(skipped_ticks) = %v, want Diagnostic", k)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 4 || snap[0] != 8 || snap[1] != 42 || snap[2] != 3 || snap[3] != 99 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	var v int64
+	reg.Counter("a/b/c", &v)
+	expectPanic("duplicate path", func() { reg.Counter("a/b/c", &v) })
+	expectPanic("nil reader", func() { reg.Register("a/b/d", Counter, nil) })
+	expectPanic("empty path", func() { reg.CounterFunc("", func() int64 { return 0 }) })
+	expectPanic("leading slash", func() { reg.CounterFunc("/a/b", func() int64 { return 0 }) })
+	expectPanic("trailing slash", func() { reg.CounterFunc("a/b/", func() int64 { return 0 }) })
+}
+
+func TestFingerprintExcludesDiagnostics(t *testing.T) {
+	reg := NewRegistry()
+	var c, d int64 = 5, 1000
+	reg.Counter("z/y/count", &c)
+	reg.Gauge("a/b/level", func() int64 { return 2 })
+	reg.Diagnostic("engine/skipped", &d)
+
+	fp := reg.Fingerprint()
+	if strings.Contains(fp, "skipped") {
+		t.Fatalf("fingerprint includes a diagnostic:\n%s", fp)
+	}
+	// Sorted lines, trailing newline.
+	if fp != "a/b/level 2\nz/y/count 5\n" {
+		t.Fatalf("fingerprint = %q", fp)
+	}
+	// Diagnostics drifting apart must not change the fingerprint.
+	d += 12345
+	if reg.Fingerprint() != fp {
+		t.Fatal("fingerprint changed when only a diagnostic changed")
+	}
+	c++
+	if reg.Fingerprint() == fp {
+		t.Fatal("fingerprint missed an architected counter change")
+	}
+}
+
+func TestDumpFlagsDiagnostics(t *testing.T) {
+	reg := NewRegistry()
+	var c, d int64 = 5, 9
+	reg.Counter("z/y/count", &c)
+	reg.Diagnostic("engine/skipped", &d)
+	dump := reg.Dump()
+	if !strings.Contains(dump, "(diagnostic)") {
+		t.Fatalf("dump does not flag the diagnostic:\n%s", dump)
+	}
+	lines := strings.Split(strings.TrimSuffix(dump, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", len(lines), dump)
+	}
+	if !strings.HasPrefix(lines[0], "engine/skipped") {
+		t.Fatalf("dump not sorted:\n%s", dump)
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		path, process, thread, name string
+	}{
+		{"cluster0/ce3/stall_mem", "cluster0", "ce3", "stall_mem"},
+		{"cluster1/cache/hits/deep", "cluster1", "cache", "hits/deep"},
+		{"engine/skipped", "engine", "engine", "skipped"},
+		{"flops", "flops", "flops", "flops"},
+	}
+	for _, c := range cases {
+		p, th, n := splitPath(c.path)
+		if p != c.process || th != c.thread || n != c.name {
+			t.Fatalf("splitPath(%q) = %q,%q,%q, want %q,%q,%q",
+				c.path, p, th, n, c.process, c.thread, c.name)
+		}
+	}
+}

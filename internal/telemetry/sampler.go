@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// DefaultMaxSamples bounds a sampler's memory, in the spirit of the
+// hardware tracers' 1M-event depth: further samples are counted as
+// dropped rather than taken.
+const DefaultMaxSamples = 1 << 20
+
+// Sample is one registry snapshot at a point in simulated time. Label is
+// empty for periodic interval samples and names the boundary for phase
+// samples ("xdoall:start", "barrier:end", ...). Values is nil for a
+// label-only mark: a phase boundary observed mid-cycle, where reading
+// counters would capture partially-applied cycle effects (see Phase).
+type Sample struct {
+	Cycle  sim.Cycle
+	Label  string
+	Values []int64 // parallel to Registry.Paths(); nil for marks
+}
+
+// Sampler snapshots a registry at configurable cycle intervals and at
+// workload phase boundaries, producing the time series that utilization
+// and bandwidth plots, flame summaries and trace export are built from.
+//
+// The sampler honors the engine's quiescence contract (DESIGN.md §4.1):
+// it implements sim.Probe, so the engine stamps interval samples at
+// exactly the requested boundary cycles — including boundaries inside a
+// fast-forwarded quiet span — without ever ticking a component that had
+// no work. A sample can therefore never change simulated behaviour, and
+// the quiescence-aware and naive engines record bit-identical series
+// (asserted by the determinism suite).
+type Sampler struct {
+	reg   *Registry
+	every sim.Cycle
+	eng   *sim.Engine
+
+	samples []Sample
+	max     int
+
+	// Dropped counts samples discarded after the depth limit.
+	Dropped int64
+}
+
+// NewSampler returns a sampler over reg taking a periodic sample every
+// `every` cycles (0 disables periodic sampling: only phase boundaries
+// and Final record anything).
+func NewSampler(reg *Registry, every sim.Cycle) *Sampler {
+	if reg == nil {
+		panic("telemetry: NewSampler with nil registry")
+	}
+	if every < 0 {
+		every = 0
+	}
+	return &Sampler{reg: reg, every: every, max: DefaultMaxSamples}
+}
+
+// SetMaxSamples overrides the sample-depth limit (<= 0 restores the
+// default).
+func (s *Sampler) SetMaxSamples(n int) {
+	if n <= 0 {
+		n = DefaultMaxSamples
+	}
+	s.max = n
+}
+
+// Registry returns the registry the sampler snapshots.
+func (s *Sampler) Registry() *Registry { return s.reg }
+
+// Attach installs the sampler as eng's probe so interval samples are
+// taken as simulated time advances, and remembers the engine so phase
+// marks can settle deferred skip accounting before snapshotting.
+func (s *Sampler) Attach(eng *sim.Engine) {
+	s.eng = eng
+	eng.SetProbe(s)
+}
+
+// NextSample implements sim.Probe: the next interval boundary at or
+// after now, or Never when periodic sampling is off.
+func (s *Sampler) NextSample(now sim.Cycle) sim.Cycle {
+	if s.every <= 0 {
+		return sim.Never
+	}
+	if now <= 0 {
+		return 0
+	}
+	return ((now + s.every - 1) / s.every) * s.every
+}
+
+// SampleNow implements sim.Probe: the engine calls it with counters
+// settled at now, immediately before the cycle at now executes.
+func (s *Sampler) SampleNow(now sim.Cycle) { s.record(now, "", true) }
+
+// Phase records a labeled sample at the current simulated time — a
+// workload phase boundary such as a DOALL start or a barrier release.
+// Called between runs, it settles deferred skip accounting and takes a
+// full snapshot. Called from inside an operation callback (the engine
+// is mid-cycle), it records the boundary's cycle and label without
+// reading counters: a mid-tick read would observe partially-applied
+// cycle effects that differ between the engine paths by tick-slot
+// position, and the adjacent interval samples bracket the mark anyway.
+func (s *Sampler) Phase(label string) {
+	now := sim.Cycle(0)
+	snap := true
+	if s.eng != nil {
+		now = s.eng.Now()
+		if s.eng.MidCycle() {
+			snap = false
+		} else {
+			s.eng.Settle() // credit skipped spans so counters are exact
+		}
+	}
+	s.record(now, label, snap)
+}
+
+// PhaseStart and PhaseEnd are the cedarfort.PhaseObserver view of Phase.
+func (s *Sampler) PhaseStart(name string) { s.Phase(name + ":start") }
+
+// PhaseEnd marks the end of a named phase.
+func (s *Sampler) PhaseEnd(name string) { s.Phase(name + ":end") }
+
+// Final records a trailing unlabeled sample at the engine's current
+// cycle if time has advanced past the last sample, closing the final
+// interval. Call it after the measured run, before export.
+func (s *Sampler) Final() {
+	if s.eng == nil {
+		return
+	}
+	now := s.eng.Now()
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle >= now && s.samples[n-1].Values != nil {
+		return
+	}
+	s.eng.Settle()
+	s.record(now, "", true)
+}
+
+func (s *Sampler) record(now sim.Cycle, label string, snap bool) {
+	if len(s.samples) >= s.max {
+		s.Dropped++
+		return
+	}
+	var vals []int64
+	if snap {
+		vals = s.reg.Snapshot()
+	}
+	s.samples = append(s.samples, Sample{Cycle: now, Label: label, Values: vals})
+}
+
+// Samples returns the recorded series in capture order. The slice is
+// the sampler's own storage; callers must not mutate it.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// Interval is the delta between two consecutive samples: the
+// utilization/bandwidth view of the span [From, To).
+type Interval struct {
+	From, To sim.Cycle
+	// Delta holds, per metric (parallel to Registry.Paths), the counter
+	// increase over the interval; for gauges it is the level change.
+	Delta []int64
+}
+
+// Cycles is the interval length.
+func (iv Interval) Cycles() sim.Cycle { return iv.To - iv.From }
+
+// Intervals derives per-interval deltas between consecutive full
+// snapshots, skipping label-only marks and zero-length intervals (a
+// phase boundary coinciding with a periodic sample).
+func (s *Sampler) Intervals() []Interval {
+	var out []Interval
+	prev := (*Sample)(nil)
+	for i := range s.samples {
+		cur := &s.samples[i]
+		if cur.Values == nil {
+			continue
+		}
+		if prev != nil && cur.Cycle > prev.Cycle {
+			d := make([]int64, len(cur.Values))
+			for j := range d {
+				d[j] = cur.Values[j] - prev.Values[j]
+			}
+			out = append(out, Interval{From: prev.Cycle, To: cur.Cycle, Delta: d})
+		}
+		prev = cur
+	}
+	return out
+}
+
+// Fingerprint renders the architected part of the recorded series
+// (every sample's cycle, label and non-diagnostic values) as text. Fast
+// and naive engine runs of the same workload produce identical sampler
+// fingerprints.
+func (s *Sampler) Fingerprint() string {
+	paths := s.reg.Paths()
+	var b strings.Builder
+	for _, smp := range s.samples {
+		fmt.Fprintf(&b, "@%d %s", smp.Cycle, smp.Label)
+		if smp.Values != nil {
+			for i, p := range paths {
+				if k, _ := s.reg.KindOf(p); k == Diagnostic {
+					continue
+				}
+				fmt.Fprintf(&b, " %d", smp.Values[i])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
