@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-engine bench-telemetry cover ci
+.PHONY: all build test vet race bench bench-engine bench-telemetry fuzz-equivalence cover ci
 
 all: ci
 
@@ -24,11 +24,30 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
-# Naive vs quiescence-aware engine on the DOALL-startup-heavy workload;
-# the ns/op ratio is the fast path's wall-clock win (results are
-# bit-identical between the two sub-benchmarks).
+# Naive vs quiescent vs wake-cached engine on the DOALL-startup-heavy
+# workload; the ns/op ratios are the fast paths' wall-clock wins
+# (results are bit-identical across all three sub-benchmarks). The
+# parsed ns/op values land in BENCH_engine.json for pipelines to diff.
 bench-engine:
-	$(GO) test -run NONE -bench BenchmarkEngineQuiescence -benchtime 10x .
+	$(GO) test -run NONE -bench BenchmarkEngineQuiescence -benchtime 10x . | tee bench-engine.out
+	@awk 'BEGIN { n = 0 } \
+	  $$1 ~ /^BenchmarkEngineQuiescence\// { \
+	    split($$1, a, "/"); sub(/-[0-9]+$$/, "", a[2]); \
+	    name[n] = a[2]; ns[n] = $$3; n++ } \
+	  END { \
+	    if (n == 0) { print "bench-engine: no benchmark lines parsed" > "/dev/stderr"; exit 1 } \
+	    print "{"; \
+	    for (i = 0; i < n; i++) \
+	      printf "  \"%s_ns_per_op\": %s%s\n", name[i], ns[i], (i < n-1 ? "," : ""); \
+	    print "}" }' bench-engine.out > BENCH_engine.json
+	@rm -f bench-engine.out
+	@cat BENCH_engine.json
+
+# Replays the seeded randomized stimulus schedule (the seed is pinned in
+# fuzz_test.go, so every run sees the same stimuli) on all three engine
+# paths at 1/2/4-cluster scale and diffs fingerprints and trace bytes.
+fuzz-equivalence:
+	$(GO) test ./internal/kernels/ -run TestFuzzScheduleEngineEquivalence -v
 
 # Telemetry disabled vs enabled on the engine benchmark workload: "off"
 # must stay within noise of the pre-telemetry engine (the registry is
@@ -47,4 +66,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race bench-engine
+ci: vet test race fuzz-equivalence bench-engine

@@ -23,6 +23,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/perfect"
+	"repro/internal/sim"
 	"repro/internal/tables"
 	"repro/internal/telemetry"
 )
@@ -278,21 +279,27 @@ func BenchmarkAblationCacheGeometry(b *testing.B) {
 	})
 }
 
-// BenchmarkEngineQuiescence measures the quiescence-aware engine
-// against the naive tick-everything reference on a DOALL-startup-heavy
-// workload: repeated self-scheduled XDOALLs whose 90 us dispatch
-// startups leave the whole 32-CE machine quiet for ~530 cycles at a
-// time — exactly the spans the engine fast-forwards in one jump. The
-// two sub-benchmarks simulate the identical workload (the determinism
-// tests assert bit-identical results), so the ns/op ratio is the fast
-// path's wall-clock win.
+// BenchmarkEngineQuiescence measures the engine's fast paths against the
+// naive tick-everything reference on a DOALL-startup-heavy workload:
+// repeated self-scheduled XDOALLs whose 90 us dispatch startups leave
+// the whole 32-CE machine quiet for ~530 cycles at a time — exactly the
+// spans the engine fast-forwards in one jump. "quiescent" re-queries
+// every idle component's NextEvent each executed cycle; "wake-cached"
+// (the default engine) additionally parks components that answered
+// Never until an external stimulus wakes them, which pays off here
+// because the claim loops keep the PFUs, caches and IPs permanently
+// dormant while sync traffic forces the engine to execute most cycles.
+// All sub-benchmarks simulate the identical workload (the determinism
+// tests assert bit-identical results), so the ns/op ratios are pure
+// host-cost wins. `make bench-engine` parses the ns/op values into
+// BENCH_engine.json.
 func BenchmarkEngineQuiescence(b *testing.B) {
-	workload := func(b *testing.B, naive bool) {
+	workload := func(b *testing.B, mode sim.EngineMode) {
 		var simCycles int64
 		for i := 0; i < b.N; i++ {
 			cfg := core.ConfigClusters(4)
 			cfg.Global.Words = 1 << 16 // keep construction cost out of the engine measurement
-			cfg.NaiveEngine = naive
+			cfg.EngineMode = mode
 			m, err := core.New(cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -309,8 +316,9 @@ func BenchmarkEngineQuiescence(b *testing.B) {
 		}
 		b.ReportMetric(float64(simCycles), "sim-cycles/op")
 	}
-	b.Run("naive", func(b *testing.B) { workload(b, true) })
-	b.Run("quiescent", func(b *testing.B) { workload(b, false) })
+	b.Run("naive", func(b *testing.B) { workload(b, sim.ModeNaive) })
+	b.Run("quiescent", func(b *testing.B) { workload(b, sim.ModeQuiescent) })
+	b.Run("wake-cached", func(b *testing.B) { workload(b, sim.ModeWakeCached) })
 }
 
 // BenchmarkTelemetryOverhead measures what the observability layer

@@ -80,6 +80,7 @@ type CE struct {
 	cache *cache.Cache
 	pfu   *prefetch.PFU
 	route func(addr uint64) int
+	waker sim.Waker
 
 	prog isa.Program
 	cur  *isa.Op
@@ -133,6 +134,18 @@ func New(cfg Config, id, port, local int, fwd *network.Network, ch *cache.Cache,
 // PFU returns the CE's prefetch unit.
 func (c *CE) PFU() *prefetch.PFU { return c.pfu }
 
+// AttachWaker implements sim.WakeSink: the engine hands the CE its own
+// Handle at registration. The CE reports sim.Never only when it has no
+// program and no operation in flight, so the only stimuli that must wake
+// it are the program-assignment entry points.
+func (c *CE) AttachWaker(w sim.Waker) { c.waker = w }
+
+func (c *CE) wake() {
+	if c.waker != nil {
+		c.waker.Wake()
+	}
+}
+
 // SetProgram assigns a program; the CE begins executing it on its next
 // tick. Assigning over a running program panics — the concurrency
 // control layer must only dispatch to idle CEs.
@@ -142,6 +155,7 @@ func (c *CE) SetProgram(p isa.Program) {
 	}
 	c.prog = p
 	c.everStarted = true
+	c.wake()
 }
 
 // ForceProgram replaces the CE's program between operations, discarding
@@ -154,6 +168,7 @@ func (c *CE) ForceProgram(p isa.Program) {
 	}
 	c.prog = p
 	c.everStarted = true
+	c.wake()
 }
 
 // Idle reports whether the CE has no program and no operation in flight.

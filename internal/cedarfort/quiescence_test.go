@@ -9,16 +9,17 @@ import (
 )
 
 // TestXDOALLDeterministicAcrossEnginePaths runs the same self-scheduled
-// loop nest on the naive and the quiescence-aware engine and asserts the
-// outcomes are bit-identical. The XDOALL path is the fast path's
-// stress case: the 90 us dispatch startup leaves the whole machine
-// quiet for ~530 cycles, which the engine should cross in one jump
-// without perturbing the claim-loop synchronization that follows.
+// loop nest on every engine path and asserts the outcomes are
+// bit-identical. The XDOALL path is the fast paths' stress case: the
+// 90 us dispatch startup leaves the whole machine quiet for ~530 cycles,
+// which the engine should cross in one jump — and between loops every CE
+// goes dormant, which the wake-cached path must survive because the
+// dispatch entry points wake them.
 func TestXDOALLDeterministicAcrossEnginePaths(t *testing.T) {
-	run := func(naive bool) (elapsed [3]int64, m *core.Machine) {
+	run := func(mode sim.EngineMode) (elapsed [3]int64, m *core.Machine) {
 		cfg := core.ConfigClusters(2)
 		cfg.Global.Words = 1 << 16
-		cfg.NaiveEngine = naive
+		cfg.EngineMode = mode
 		m = core.MustNew(cfg)
 		r := New(m, DefaultConfig())
 		for l := 0; l < 3; l++ {
@@ -32,23 +33,28 @@ func TestXDOALLDeterministicAcrossEnginePaths(t *testing.T) {
 		}
 		return elapsed, m
 	}
-	ef, mf := run(false)
-	en, mn := run(true)
-	if ef != en {
-		t.Fatalf("per-loop elapsed cycles diverged: quiescent %v, naive %v", ef, en)
-	}
-	if mf.Eng.Now() != mn.Eng.Now() {
-		t.Fatalf("final time diverged: %d vs %d", mf.Eng.Now(), mn.Eng.Now())
-	}
-	for i := range mf.CEs() {
-		cf, cn := mf.CE(i), mn.CE(i)
-		if cf.OpsDone != cn.OpsDone || cf.IdleCycles != cn.IdleCycles || cf.StallNet != cn.StallNet {
-			t.Fatalf("ce%d counters diverged: ops %d/%d idle %d/%d stallnet %d/%d",
-				i, cf.OpsDone, cn.OpsDone, cf.IdleCycles, cn.IdleCycles, cf.StallNet, cn.StallNet)
+	en, mn := run(sim.ModeNaive)
+	for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+		ef, mf := run(mode)
+		if ef != en {
+			t.Fatalf("per-loop elapsed cycles diverged: %v %v, naive %v", mode, ef, en)
 		}
-	}
-	if mf.Eng.FastForwarded == 0 {
-		t.Fatal("XDOALL startup spans were not fast-forwarded")
+		if mf.Eng.Now() != mn.Eng.Now() {
+			t.Fatalf("%v final time diverged: %d vs %d", mode, mf.Eng.Now(), mn.Eng.Now())
+		}
+		for i := range mf.CEs() {
+			cf, cn := mf.CE(i), mn.CE(i)
+			if cf.OpsDone != cn.OpsDone || cf.IdleCycles != cn.IdleCycles || cf.StallNet != cn.StallNet {
+				t.Fatalf("%v ce%d counters diverged: ops %d/%d idle %d/%d stallnet %d/%d",
+					mode, i, cf.OpsDone, cn.OpsDone, cf.IdleCycles, cn.IdleCycles, cf.StallNet, cn.StallNet)
+			}
+		}
+		if mf.Eng.FastForwarded == 0 {
+			t.Fatalf("%v: XDOALL startup spans were not fast-forwarded", mode)
+		}
+		if mode == sim.ModeWakeCached && mf.Eng.DormantSkips == 0 {
+			t.Fatal("wake-cached path never skipped a dormant component across XDOALL dispatches")
+		}
 	}
 	if mn.Eng.FastForwarded != 0 || mn.Eng.SkippedTicks != 0 {
 		t.Fatal("naive engine took the fast path")
@@ -58,10 +64,10 @@ func TestXDOALLDeterministicAcrossEnginePaths(t *testing.T) {
 // TestBarrierDeterministicAcrossEnginePaths covers the sync-heavy shape:
 // participants spin on global memory at staggered arrival times.
 func TestBarrierDeterministicAcrossEnginePaths(t *testing.T) {
-	run := func(naive bool) (int64, int64) {
+	run := func(mode sim.EngineMode) (int64, int64) {
 		cfg := core.ConfigClusters(1)
 		cfg.Global.Words = 1 << 16
-		cfg.NaiveEngine = naive
+		cfg.EngineMode = mode
 		m := core.MustNew(cfg)
 		r := New(m, DefaultConfig())
 		n := m.NumCEs()
@@ -83,9 +89,11 @@ func TestBarrierDeterministicAcrossEnginePaths(t *testing.T) {
 		}
 		return int64(end), sync
 	}
-	ef, sf := run(false)
-	en, sn := run(true)
-	if ef != en || sf != sn {
-		t.Fatalf("barrier diverged across engine paths: end %d/%d syncops %d/%d", ef, en, sf, sn)
+	en, sn := run(sim.ModeNaive)
+	for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+		ef, sf := run(mode)
+		if ef != en || sf != sn {
+			t.Fatalf("barrier diverged on %v vs naive: end %d/%d syncops %d/%d", mode, ef, en, sf, sn)
+		}
 	}
 }

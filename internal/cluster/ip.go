@@ -15,7 +15,8 @@ import (
 // makes I/O-heavy codes like BDNA and MG3D sensitive to their I/O
 // volume regardless of processor count.
 type IP struct {
-	fs *xylem.FS
+	fs    *xylem.FS
+	waker sim.Waker
 
 	queue       []ioReq
 	busyTil     sim.Cycle
@@ -41,6 +42,11 @@ func NewIP(fs *xylem.FS) *IP {
 	return &IP{fs: fs}
 }
 
+// AttachWaker implements sim.WakeSink: the engine hands the IP its own
+// Handle at registration. An IP with no queue and no pending completion
+// reports sim.Never, so the only stimulus that must wake it is Submit.
+func (ip *IP) AttachWaker(w sim.Waker) { ip.waker = w }
+
 // Submit enqueues an I/O transfer of words 64-bit words; onDone (may be
 // nil) runs at the simulated time the transfer completes.
 func (ip *IP) Submit(words int64, formatted bool, onDone func()) {
@@ -49,6 +55,9 @@ func (ip *IP) Submit(words int64, formatted bool, onDone func()) {
 	}
 	ip.Requests++
 	ip.queue = append(ip.queue, ioReq{words: words, formatted: formatted, onDone: onDone})
+	if ip.waker != nil {
+		ip.waker.Wake()
+	}
 }
 
 // Pending reports queued plus in-service requests.

@@ -59,11 +59,14 @@ type Config struct {
 	// paper's claim that the measured degradation "is not inherent in
 	// the type of network used" [Turn93].
 	IdealNetwork bool
-	// NaiveEngine disables the engine's quiescence-aware fast path so
-	// every component is ticked every cycle. Results are bit-identical
-	// either way (the determinism tests assert it); the naive path
-	// exists as the reference for those tests and for benchmarking the
-	// fast path's wall-clock win.
+	// EngineMode selects the engine path (sim.ModeWakeCached,
+	// sim.ModeQuiescent or sim.ModeNaive). Results are bit-identical in
+	// every mode (the determinism tests assert it); the slower paths
+	// exist as references for those tests and for benchmarking the fast
+	// path's wall-clock win. The zero value is the wake-cached default.
+	EngineMode sim.EngineMode
+	// NaiveEngine forces sim.ModeNaive regardless of EngineMode; kept
+	// for callers predating EngineMode.
 	NaiveEngine bool
 }
 
@@ -148,7 +151,9 @@ func New(cfg Config) (*Machine, error) {
 
 	eng := sim.New()
 	if cfg.NaiveEngine {
-		eng.SetQuiescence(false)
+		eng.SetMode(sim.ModeNaive)
+	} else {
+		eng.SetMode(cfg.EngineMode)
 	}
 	mkNet := func(name string) (*network.Network, error) {
 		if cfg.IdealNetwork {

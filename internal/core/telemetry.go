@@ -47,6 +47,7 @@ func (m *Machine) registerAll(reg *telemetry.Registry) {
 	// so they are registered fenced off from fingerprints.
 	reg.Diagnostic("engine/skipped_ticks", &m.Eng.SkippedTicks)
 	reg.Diagnostic("engine/fast_forwarded", &m.Eng.FastForwarded)
+	reg.Diagnostic("engine/dormant_skips", &m.Eng.DormantSkips)
 }
 
 // NewSampler builds a phase-interval sampler over the machine's

@@ -147,6 +147,8 @@ type Module struct {
 	// OnServe, if non-nil, observes each request as it is serviced.
 	OnServe func(now sim.Cycle, p *network.Packet)
 
+	waker sim.Waker
+
 	// Counters.
 	Served     int64
 	SyncOps    int64
@@ -166,7 +168,20 @@ func (m *Module) Offer(p *network.Packet) bool {
 	}
 	m.queue = append(m.queue, p)
 	m.queueWords += p.Words
+	m.wake()
 	return true
+}
+
+// AttachWaker implements sim.WakeSink: the engine hands the module its
+// own Handle at registration. An empty module reports sim.Never, so the
+// only stimulus that must wake it is a request accepted by Offer (a
+// rejected Offer implies a non-empty queue — not dormant).
+func (m *Module) AttachWaker(w sim.Waker) { m.waker = w }
+
+func (m *Module) wake() {
+	if m.waker != nil {
+		m.waker.Wake()
+	}
 }
 
 // QueueLen reports the number of requests waiting at the module.
@@ -271,11 +286,11 @@ func (m *Module) complete(p *network.Packet) *network.Packet {
 			m.g.StoreInt(p.Addr, p.Sync.Op.Apply(old, p.Sync.Operand))
 		}
 		return &network.Packet{
-			Dst:   p.Src,
-			Src:   m.index,
-			Words: 1,
-			Kind:  network.Reply,
-			Addr:  p.Addr,
+			Dst:     p.Src,
+			Src:     m.index,
+			Words:   1,
+			Kind:    network.Reply,
+			Addr:    p.Addr,
 			Value:   uint64(old),
 			OK:      ok,
 			Tag:     p.Tag,

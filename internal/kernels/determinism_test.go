@@ -7,23 +7,29 @@ import (
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
-// The quiescence-aware engine's contract is bit-identical results: every
-// kernel must produce exactly the same cycle counts, numerics and
-// hardware counters whether the engine ticks every component every cycle
-// (NaiveEngine) or skips idle components and fast-forwards quiet spans.
-// These tests run each kernel both ways and diff a full stats
-// fingerprint of the machine.
+// The fast engine paths' contract is bit-identical results: every kernel
+// must produce exactly the same cycle counts, numerics and hardware
+// counters whether the engine ticks every component every cycle (naive),
+// skips idle components and fast-forwards quiet spans (quiescent), or
+// additionally caches Never answers behind the wake API (wake-cached,
+// the default). These tests run each kernel on all three paths and diff
+// a full stats fingerprint of the machine against the naive reference.
+
+// engineModes is every path, naive reference last.
+var engineModes = []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent, sim.ModeNaive}
+
+func machineAt(clusters int, mode sim.EngineMode) *core.Machine {
+	cfg := core.ConfigClusters(clusters)
+	cfg.Global.Words = 1 << 20
+	cfg.EngineMode = mode
+	return core.MustNew(cfg)
+}
 
 func enginePair(clusters int) (fast, naive *core.Machine) {
-	mk := func(naiveEngine bool) *core.Machine {
-		cfg := core.ConfigClusters(clusters)
-		cfg.Global.Words = 1 << 20
-		cfg.NaiveEngine = naiveEngine
-		return core.MustNew(cfg)
-	}
-	return mk(false), mk(true)
+	return machineAt(clusters, sim.ModeWakeCached), machineAt(clusters, sim.ModeNaive)
 }
 
 // fingerprint serializes every architected counter in the machine, so
@@ -74,89 +80,94 @@ func checkResults(t *testing.T, what string, fast, naive Result) {
 	}
 }
 
+// runAllModes builds one machine per engine path, runs the workload on
+// each, and diffs results and fingerprints against the naive reference.
+func runAllModes(t *testing.T, what string, clusters int, run func(m *core.Machine) Result) {
+	t.Helper()
+	var ref Result
+	var refPrint string
+	for i := len(engineModes) - 1; i >= 0; i-- { // naive first: it is the reference
+		mode := engineModes[i]
+		m := machineAt(clusters, mode)
+		r := run(m)
+		if mode == sim.ModeNaive {
+			ref, refPrint = r, fingerprint(m)
+			continue
+		}
+		label := fmt.Sprintf("%s [%v]", what, mode)
+		checkResults(t, label, r, ref)
+		diffFingerprints(t, label, fingerprint(m), refPrint)
+	}
+}
+
 func TestDeterminismVectorLoad(t *testing.T) {
 	for _, pf := range []bool{false, true} {
-		fast, naive := enginePair(1)
-		n := fast.NumCEs() * StripLen * 4
-		rf, err := VectorLoad(fast, n, pf, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rn, err := VectorLoad(naive, n, pf, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		what := fmt.Sprintf("VL prefetch=%v", pf)
-		checkResults(t, what, rf, rn)
-		diffFingerprints(t, what, fingerprint(fast), fingerprint(naive))
+		runAllModes(t, fmt.Sprintf("VL prefetch=%v", pf), 1, func(m *core.Machine) Result {
+			r, err := VectorLoad(m, m.NumCEs()*StripLen*4, pf, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		})
 	}
 }
 
 func TestDeterminismTriMatVec(t *testing.T) {
 	for _, pf := range []bool{false, true} {
-		fast, naive := enginePair(2)
-		n := fast.NumCEs() * StripLen * 2
-		rf, err := TriMatVec(fast, n, pf, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rn, err := TriMatVec(naive, n, pf, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		what := fmt.Sprintf("TM prefetch=%v", pf)
-		checkResults(t, what, rf, rn)
-		diffFingerprints(t, what, fingerprint(fast), fingerprint(naive))
+		runAllModes(t, fmt.Sprintf("TM prefetch=%v", pf), 2, func(m *core.Machine) Result {
+			r, err := TriMatVec(m, m.NumCEs()*StripLen*2, pf, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		})
 	}
 }
 
 func TestDeterminismRank64(t *testing.T) {
 	for _, mode := range []Mode{GMNoPrefetch, GMPrefetch, GMCache} {
-		fast, naive := enginePair(1)
-		rf, err := Rank64(fast, NewRank64Input(64), mode, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rn, err := Rank64(naive, NewRank64Input(64), mode, false)
-		if err != nil {
-			t.Fatal(err)
-		}
-		checkResults(t, mode.String(), rf, rn)
-		diffFingerprints(t, mode.String(), fingerprint(fast), fingerprint(naive))
+		runAllModes(t, mode.String(), 1, func(m *core.Machine) Result {
+			r, err := Rank64(m, NewRank64Input(64), mode, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		})
 	}
 }
 
 func TestDeterminismCG(t *testing.T) {
-	run := func(m *core.Machine) CGResult {
-		t.Helper()
+	var refResidual float64
+	runAllModes(t, "CG", 2, func(m *core.Machine) Result {
 		rt := cedarfort.New(m, cedarfort.DefaultConfig())
 		res, err := CG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), 3, true, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res
-	}
-	fast, naive := enginePair(2)
-	rf, rn := run(fast), run(naive)
-	checkResults(t, "CG", rf.Result, rn.Result)
-	if rf.FinalResidual != rn.FinalResidual {
-		t.Fatalf("CG residual diverged: %g vs %g", rf.FinalResidual, rn.FinalResidual)
-	}
-	diffFingerprints(t, "CG", fingerprint(fast), fingerprint(naive))
+		if m.Eng.Mode() == sim.ModeNaive {
+			refResidual = res.FinalResidual
+		} else if res.FinalResidual != refResidual {
+			t.Fatalf("CG residual diverged on %v: %g vs %g", m.Eng.Mode(), res.FinalResidual, refResidual)
+		}
+		return res.Result
+	})
 }
 
 // TestQuiescencePathExercised guards the guard: the equivalence above is
-// vacuous if the fast path never actually skips anything on real
+// vacuous if the fast paths never actually skip anything on real
 // workloads.
 func TestQuiescencePathExercised(t *testing.T) {
-	fast, _ := enginePair(1)
+	fast := machineAt(1, sim.ModeWakeCached)
 	if _, err := Rank64(fast, NewRank64Input(64), GMCache, false); err != nil {
 		t.Fatal(err)
 	}
 	if fast.Eng.SkippedTicks == 0 {
-		t.Fatal("quiescent engine never skipped an idle component tick")
+		t.Fatal("fast engine never skipped an idle component tick")
 	}
 	if fast.Eng.FastForwarded == 0 {
-		t.Fatal("quiescent engine never fast-forwarded a quiet span on a cache-mode kernel")
+		t.Fatal("fast engine never fast-forwarded a quiet span on a cache-mode kernel")
+	}
+	if fast.Eng.DormantSkips == 0 {
+		t.Fatal("wake-cached engine never skipped a dormant component without a query")
 	}
 }

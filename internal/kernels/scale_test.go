@@ -6,62 +6,58 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
 // TestFourClusterFullSizeTelemetryEquivalence is the full-size
 // configuration sweep the quick determinism tests shrink away from: all
-// four clusters, the as-built global memory, both engine paths, with
+// four clusters, the as-built global memory, every engine path, with
 // telemetry attached and the trace exporter run on the result. It is
 // the long pole of the suite, so `go test -short` skips it.
 func TestFourClusterFullSizeTelemetryEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size 4-cluster equivalence run; skipped with -short")
 	}
-	mk := func(naive bool) *core.Machine {
+	run := func(mode sim.EngineMode) (*core.Machine, Result, []byte) {
+		t.Helper()
 		cfg := core.ConfigClusters(4) // as-built: default global memory, no shrinking
-		cfg.NaiveEngine = naive
-		return core.MustNew(cfg)
+		cfg.EngineMode = mode
+		m := core.MustNew(cfg)
+		s := m.NewSampler(1000)
+		r, err := TriMatVec(m, m.NumCEs()*StripLen*2, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Final()
+		var buf bytes.Buffer
+		if err := telemetry.WriteTrace(&buf, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m, r, buf.Bytes()
 	}
-	fast, naive := mk(false), mk(true)
-	sf := fast.NewSampler(1000)
-	sn := naive.NewSampler(1000)
+	naive, rn, tn := run(sim.ModeNaive)
+	var traceBytes []byte
+	for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+		fast, rf, tf := run(mode)
+		what := fmt.Sprintf("4-cluster [%v]", mode)
+		checkResults(t, what, rf, rn)
+		diffFingerprints(t, what+" fingerprint", fingerprint(fast), fingerprint(naive))
+		diffFingerprints(t, what+" registry", fast.Registry().Fingerprint(), naive.Registry().Fingerprint())
 
-	n := fast.NumCEs() * StripLen * 2
-	rf, err := TriMatVec(fast, n, true, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rn, err := TriMatVec(naive, n, true, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sf.Final()
-	sn.Final()
-
-	checkResults(t, "TM 4-cluster full-size", rf, rn)
-	diffFingerprints(t, "4-cluster fingerprint", fingerprint(fast), fingerprint(naive))
-	diffFingerprints(t, "4-cluster registry", fast.Registry().Fingerprint(), naive.Registry().Fingerprint())
-	diffFingerprints(t, "4-cluster sampler series", sf.Fingerprint(), sn.Fingerprint())
-
-	// The exported traces carry only architected series (diagnostics never
-	// become slices or tracks), so the two engine paths must emit
-	// byte-identical trace files.
-	var bf, bn bytes.Buffer
-	if err := telemetry.WriteTrace(&bf, sf, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := telemetry.WriteTrace(&bn, sn, nil); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(bf.Bytes(), bn.Bytes()) {
-		t.Fatalf("engine paths emitted different trace bytes (%d vs %d)", bf.Len(), bn.Len())
+		// The exported traces carry only architected series (diagnostics
+		// never become slices or tracks), so every engine path must emit
+		// byte-identical trace files.
+		if !bytes.Equal(tf, tn) {
+			t.Fatalf("%s emitted different trace bytes than naive (%d vs %d)", what, len(tf), len(tn))
+		}
+		traceBytes = tf
 	}
 
 	// Acceptance: the timeline covers every cluster (a process per
 	// cluster plus net, gmem and the synthetic workload row).
 	processes := map[string]bool{}
-	for _, e := range decodeTrace(t, bf.Bytes()) {
+	for _, e := range decodeTrace(t, traceBytes) {
 		if e.Name == "process_name" {
 			processes[e.Args["name"].(string)] = true
 		}

@@ -3,11 +3,13 @@ package kernels
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -18,45 +20,56 @@ import (
 // registry, the sampler and the trace exporter.
 
 func TestTelemetryFingerprintEngineEquivalence(t *testing.T) {
-	fast, naive := enginePair(1)
-	sf := fast.NewSampler(500)
-	sn := naive.NewSampler(500)
-
-	n := fast.NumCEs() * StripLen * 4
-	rf, err := VectorLoad(fast, n, true, false)
-	if err != nil {
-		t.Fatal(err)
+	run := func(m *core.Machine) (Result, *telemetry.Sampler) {
+		t.Helper()
+		s := m.NewSampler(500)
+		r, err := VectorLoad(m, m.NumCEs()*StripLen*4, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Final()
+		return r, s
 	}
-	rn, err := VectorLoad(naive, n, true, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sf.Final()
-	sn.Final()
+	naive := machineAt(1, sim.ModeNaive)
+	rn, sn := run(naive)
+	for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+		fast := machineAt(1, mode)
+		rf, sf := run(fast)
 
-	checkResults(t, "VL telemetry", rf, rn)
-	diffFingerprints(t, "registry", fast.Registry().Fingerprint(), naive.Registry().Fingerprint())
-	diffFingerprints(t, "sampler series", sf.Fingerprint(), sn.Fingerprint())
+		what := fmt.Sprintf("VL telemetry [%v]", mode)
+		checkResults(t, what, rf, rn)
+		diffFingerprints(t, what+" registry", fast.Registry().Fingerprint(), naive.Registry().Fingerprint())
+		diffFingerprints(t, what+" sampler series", sf.Fingerprint(), sn.Fingerprint())
 
-	// The engine diagnostics are exactly what must differ: the fast path
-	// skipped work, the naive path never does. The registry exposes them,
-	// fenced off from the fingerprints just compared.
-	skF, ok := fast.Registry().Value("engine/skipped_ticks")
-	if !ok || skF == 0 {
-		t.Fatalf("fast engine/skipped_ticks = %d,%v, want > 0", skF, ok)
+		// The engine diagnostics are exactly what must differ: the fast
+		// paths skipped work, the naive path never does. The registry
+		// exposes them, fenced off from the fingerprints just compared.
+		skF, ok := fast.Registry().Value("engine/skipped_ticks")
+		if !ok || skF == 0 {
+			t.Fatalf("%v engine/skipped_ticks = %d,%v, want > 0", mode, skF, ok)
+		}
+		// And the dormant-skip counter separates the two fast paths: only
+		// wake-cached ever skips a component without querying it.
+		ds, _ := fast.Registry().Value("engine/dormant_skips")
+		if mode == sim.ModeWakeCached && ds == 0 {
+			t.Fatal("wake-cached engine/dormant_skips = 0, want > 0")
+		}
+		if mode == sim.ModeQuiescent && ds != 0 {
+			t.Fatalf("quiescent engine/dormant_skips = %d, want 0", ds)
+		}
+		// Network level gauges are registered and idle after a drained run.
+		for _, path := range []string{"net/fwd/in_flight", "net/rev/in_flight"} {
+			v, ok := fast.Registry().Value(path)
+			if !ok {
+				t.Fatalf("%s not registered", path)
+			}
+			if v != 0 {
+				t.Fatalf("%s = %d after drained run, want 0", path, v)
+			}
+		}
 	}
 	if skN, _ := naive.Registry().Value("engine/skipped_ticks"); skN != 0 {
 		t.Fatalf("naive engine/skipped_ticks = %d, want 0", skN)
-	}
-	// Network level gauges are registered and idle after a drained run.
-	for _, path := range []string{"net/fwd/in_flight", "net/rev/in_flight"} {
-		v, ok := fast.Registry().Value(path)
-		if !ok {
-			t.Fatalf("%s not registered", path)
-		}
-		if v != 0 {
-			t.Fatalf("%s = %d after drained run, want 0", path, v)
-		}
 	}
 }
 

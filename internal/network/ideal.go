@@ -59,6 +59,7 @@ func (n *Network) offerIdeal(now sim.Cycle, src int, p *Packet) bool {
 	n.WordsIn += int64(p.Words)
 	transit := sim.Cycle(n.stages + 1)
 	n.idealFlight = append(n.idealFlight, idealPkt{p: p, arriveAt: now + transit})
+	n.wake()
 	return true
 }
 

@@ -168,6 +168,8 @@ type Network struct {
 	ideal       bool
 	idealFlight []idealPkt
 
+	waker sim.Waker
+
 	// OnDeliver, if non-nil, observes every packet as it leaves the
 	// network, for performance monitoring.
 	OnDeliver func(now sim.Cycle, port int, p *Packet)
@@ -306,7 +308,20 @@ func (n *Network) Offer(now sim.Cycle, src int, p *Packet) bool {
 	n.entryCount++
 	n.Injected++
 	n.WordsIn += int64(p.Words)
+	n.wake()
 	return true
+}
+
+// AttachWaker implements sim.WakeSink: the engine hands the network its
+// own Handle at registration. A network reports sim.Never only when it is
+// drained, so the only stimulus that must wake it is an accepted Offer
+// (a rejected Offer implies a non-empty entry queue — not drained).
+func (n *Network) AttachWaker(w sim.Waker) { n.waker = w }
+
+func (n *Network) wake() {
+	if n.waker != nil {
+		n.waker.Wake()
+	}
 }
 
 // Tick advances the network one cycle: deliver from the last stage,

@@ -151,18 +151,19 @@ type blockStat struct {
 // PrefetchProbe measures a PFU the way the paper's monitor does: issue
 // and arrival times per request, first-word latency per prefetch block,
 // and interarrival gaps between the remaining words. Measurements are
-// keyed per block; an arrival is attributed to the oldest block that
-// still has requests outstanding (replies of one block are in request
-// order per module path, so across pipelined blocks the oldest-first
-// rule matches the hardware's delivery order).
+// keyed per block; an arrival is attributed through its request tag (the
+// buffer slot it fills), which stays correct even when replies from
+// different memory modules interleave out of block order across
+// pipelined prefetches.
 type PrefetchProbe struct {
 	blocks    []blockStat
-	firstOpen int         // index of the oldest possibly-incomplete block
-	latencies []sim.Cycle // first-word latency per block
-	gaps      []sim.Cycle // interarrival within blocks
+	pending   map[int][]int // buffer slot -> FIFO of block indices awaiting that slot
+	latencies []sim.Cycle   // first-word latency per block
+	gaps      []sim.Cycle   // interarrival within blocks
 
-	// Spurious counts arrivals with no block outstanding (a reply that
-	// reached a PFU whose prefetch was retired — never attributed).
+	// Spurious counts arrivals on a slot with no request outstanding (a
+	// reply that reached a PFU whose prefetch was retired — never
+	// attributed).
 	Spurious int64
 }
 
@@ -171,7 +172,7 @@ type PrefetchProbe struct {
 // invokes whatever handler was installed before it, so multiple
 // observers can share one PFU.
 func AttachPrefetch(u *prefetch.PFU) *PrefetchProbe {
-	p := &PrefetchProbe{}
+	p := &PrefetchProbe{pending: make(map[int][]int)}
 	prevFire, prevIssue, prevArrive := u.OnFire, u.OnIssue, u.OnArrive
 	u.OnFire = func(addr uint64) {
 		p.blocks = append(p.blocks, blockStat{})
@@ -184,17 +185,32 @@ func AttachPrefetch(u *prefetch.PFU) *PrefetchProbe {
 			// Attached after the block fired: open it at first issue.
 			p.blocks = append(p.blocks, blockStat{})
 		}
-		b := &p.blocks[len(p.blocks)-1]
+		bi := len(p.blocks) - 1
+		b := &p.blocks[bi]
 		if b.issues == 0 {
 			b.firstIssue = now
 		}
 		b.issues++
+		// The request travels tagged with its buffer slot; remember which
+		// block issued on that slot so the reply attributes to it. The
+		// per-slot list is a FIFO for form's sake — a correctly wired
+		// machine never has two requests for one slot in flight (Fire
+		// invalidates the buffer).
+		slot := seq % prefetch.BufferWords
+		p.pending[slot] = append(p.pending[slot], bi)
 		if prevIssue != nil {
 			prevIssue(now, seq, addr)
 		}
 	}
-	u.OnArrive = func(now sim.Cycle, seq int) {
-		if b := p.oldestIncomplete(); b != nil {
+	u.OnArrive = func(now sim.Cycle, slot int) {
+		if q := p.pending[slot]; len(q) > 0 {
+			bi := q[0]
+			if len(q) == 1 {
+				delete(p.pending, slot)
+			} else {
+				p.pending[slot] = q[1:]
+			}
+			b := &p.blocks[bi]
 			if b.arrivals == 0 {
 				// First datum of the block: latency from the block's
 				// first issue.
@@ -208,24 +224,10 @@ func AttachPrefetch(u *prefetch.PFU) *PrefetchProbe {
 			p.Spurious++
 		}
 		if prevArrive != nil {
-			prevArrive(now, seq)
+			prevArrive(now, slot)
 		}
 	}
 	return p
-}
-
-// oldestIncomplete returns the earliest block with replies outstanding.
-// Issues only ever go to the newest block, so a completed block stays
-// complete and the scan pointer advances monotonically — attribution
-// stays O(1) amortized over a run of thousands of blocks.
-func (p *PrefetchProbe) oldestIncomplete() *blockStat {
-	for p.firstOpen < len(p.blocks)-1 && p.blocks[p.firstOpen].arrivals >= p.blocks[p.firstOpen].issues {
-		p.firstOpen++
-	}
-	if p.firstOpen < len(p.blocks) && p.blocks[p.firstOpen].arrivals < p.blocks[p.firstOpen].issues {
-		return &p.blocks[p.firstOpen]
-	}
-	return nil
 }
 
 // MeanLatency is the mean first-word latency over all blocks, in cycles.

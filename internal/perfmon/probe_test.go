@@ -87,6 +87,43 @@ func TestPrefetchProbeOverlappingBlocks(t *testing.T) {
 	}
 }
 
+// TestPrefetchProbeInterleavedReplies forces replies from two pipelined
+// blocks to interleave out of block order — B's first word (served by an
+// unloaded module) overtakes A's trailing word (stuck behind a busy one).
+// The retired oldest-block-first rule attributed B's overtaking reply to
+// A, recording a bogus 4-cycle gap for A and an 11-cycle latency for B;
+// per-request tags attribute each reply to the block that issued it.
+func TestPrefetchProbeInterleavedReplies(t *testing.T) {
+	u := hookedPFU()
+	p := AttachPrefetch(u)
+
+	u.OnFire(0) // block A
+	u.OnIssue(0, 0, 0)
+	u.OnIssue(1, 1, 1)
+	u.OnArrive(8, 0) // A slot 0: latency 8
+
+	u.OnFire(64) // block B fires with A's slot-1 reply still in flight
+	u.OnIssue(9, 0, 64)
+	u.OnArrive(12, 0) // B slot 0 overtakes A slot 1: latency 12-9=3
+	u.OnArrive(20, 1) // A's trailing word finally lands: gap 20-8=12
+
+	if p.Blocks() != 2 {
+		t.Fatalf("Blocks() = %d, want 2", p.Blocks())
+	}
+	if got := p.MeanLatency(); got != (8+3)/2.0 {
+		t.Fatalf("MeanLatency() = %g, want 5.5 (B's overtaking reply must start B's measurement, not extend A's)", got)
+	}
+	if p.Samples() != 1 {
+		t.Fatalf("Samples() = %d, want 1 gap (within A only)", p.Samples())
+	}
+	if got := p.MeanInterarrival(); got != 12 {
+		t.Fatalf("MeanInterarrival() = %g, want 12 (A slot 0 to A slot 1)", got)
+	}
+	if p.Spurious != 0 {
+		t.Fatalf("Spurious = %d, want 0", p.Spurious)
+	}
+}
+
 // TestAttachPrefetchChainsHooks is the regression test for
 // AttachPrefetch silently overwriting hooks another observer installed.
 func TestAttachPrefetchChainsHooks(t *testing.T) {

@@ -45,8 +45,9 @@ type slot struct {
 // during its Tick) and receives replies via Deliver, forwarded by its CE
 // from the reverse-network port they share.
 type PFU struct {
-	port int // shared network port of the owning CE
-	fwd  *network.Network
+	port  int // shared network port of the owning CE
+	fwd   *network.Network
+	waker sim.Waker
 
 	// Armed parameters.
 	length int
@@ -72,10 +73,13 @@ type PFU struct {
 	// monitoring: OnFire marks the start of each block (a Fire with a
 	// non-empty descriptor), OnIssue each request injected into the
 	// network (seq is the request index within the prefetch) and OnArrive
-	// each reply reaching the buffer.
+	// each reply reaching the buffer. OnArrive receives the reply's buffer
+	// slot (the request's network tag, seq mod BufferWords), which
+	// identifies the originating request even when replies from different
+	// memory modules interleave out of issue order.
 	OnFire   func(addr uint64)
 	OnIssue  func(now sim.Cycle, seq int, addr uint64)
-	OnArrive func(now sim.Cycle, seq int)
+	OnArrive func(now sim.Cycle, slot int)
 
 	// Counters.
 	Prefetches    int64
@@ -95,6 +99,19 @@ func New(fwd *network.Network, port, pageWords int, pageCost sim.Cycle) *PFU {
 		pageCost = DefaultPageCrossCycles
 	}
 	return &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost}
+}
+
+// AttachWaker implements sim.WakeSink: the engine hands the PFU its own
+// Handle at registration. The PFU reports sim.Never when it has nothing
+// left to issue or the buffer is full of unconsumed data, so the stimuli
+// that must wake it are Fire (a new block) and Consume (space freed).
+// Deliver needs no wake: an arrival never creates issue work.
+func (u *PFU) AttachWaker(w sim.Waker) { u.waker = w }
+
+func (u *PFU) wake() {
+	if u.waker != nil {
+		u.waker.Wake()
+	}
 }
 
 // Arm loads the vector descriptor: length in words and stride in words,
@@ -152,6 +169,7 @@ func (u *PFU) Fire(addr uint64) {
 		if u.OnFire != nil {
 			u.OnFire(addr)
 		}
+		u.wake()
 	}
 }
 
@@ -268,7 +286,7 @@ func (u *PFU) Deliver(now sim.Cycle, p *network.Packet) bool {
 	u.buf[seqSlot].full = true
 	u.arrived++
 	if u.OnArrive != nil {
-		u.OnArrive(now, u.arrived-1)
+		u.OnArrive(now, seqSlot)
 	}
 	if u.arrived >= u.length && u.issued >= u.length {
 		u.active = false
@@ -296,6 +314,7 @@ func (u *PFU) Consume() uint64 {
 	s.full = false
 	v := s.value
 	u.consumed++
+	u.wake() // frees a buffer slot: a full-buffer PFU may issue again
 	return v
 }
 

@@ -33,7 +33,7 @@ func (p *pulser) NextEvent(now Cycle) Cycle {
 // sleeper never wants to tick.
 type sleeper struct{ ticks int }
 
-func (s *sleeper) Tick(Cycle)            { s.ticks++ }
+func (s *sleeper) Tick(Cycle)                { s.ticks++ }
 func (s *sleeper) NextEvent(now Cycle) Cycle { return Never }
 
 func TestQuiescenceDefaultOn(t *testing.T) {

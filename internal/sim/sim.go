@@ -18,16 +18,19 @@
 // networks between strips — so the engine is quiescence-aware: components
 // that implement IdleComponent are skipped while they report no work, and
 // when every component agrees the machine is quiet until a known future
-// cycle the engine fast-forwards time in one jump. Both optimizations are
-// exact: a quiescence-aware run produces bit-identical cycle counts and
-// statistics to the naive tick-everything run (SetQuiescence toggles the
-// naive path for equivalence testing).
+// cycle the engine fast-forwards time in one jump. On top of that, a
+// component whose answer is Never is marked dormant and excluded from the
+// per-cycle query loop entirely until an external stimulus calls Wake on
+// its Handle. All optimizations are exact: every engine mode produces
+// bit-identical cycle counts and statistics to the naive tick-everything
+// run (SetMode selects the path for equivalence testing).
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 )
 
@@ -58,16 +61,21 @@ func FromDuration(d time.Duration) Cycle {
 }
 
 // FromMicroseconds converts simulated microseconds to cycles, rounding up.
+// One cycle is 170 ns = 17/100 µs, so the conversion works in hundredths
+// of a microsecond: when the input is (within float tolerance of) a whole
+// number of hundredths the division is done in integers, which keeps exact
+// cycle multiples exact — 0.17 µs is 1 cycle, not the 2 that a float
+// divide's representation error used to produce.
 func FromMicroseconds(us float64) Cycle {
 	if us <= 0 {
 		return 0
 	}
-	c := us * 1e3 / float64(CycleTime.Nanoseconds())
-	ic := Cycle(c)
-	if float64(ic) < c {
-		ic++
+	h := us * 100
+	r := math.Round(h)
+	if math.Abs(h-r) <= 1e-9*math.Max(r, 1) {
+		return Cycle((int64(r) + 16) / 17)
 	}
-	return ic
+	return Cycle(math.Ceil(h / 17))
 }
 
 // A Component is a hardware unit advanced by the engine once per cycle.
@@ -100,7 +108,10 @@ const Never = Cycle(math.MaxInt64)
 // as the naive engine would tick it. A future answer must stay valid
 // until then under external stimulus delivered between the component's
 // tick slots; components whose wake-up time can move earlier must return
-// now (or Never, which is re-queried every executed cycle).
+// now or Never. In ModeWakeCached (the default) a Never answer is cached:
+// the component is marked dormant and not queried again until something
+// calls Wake on its Handle, so every external-stimulus entry point of a
+// Never-capable component must wake it (see Waker and DESIGN.md §4.1).
 type IdleComponent interface {
 	Component
 	NextEvent(now Cycle) Cycle
@@ -131,6 +142,40 @@ type SkipAware interface {
 	SkipCycles(from, to Cycle)
 }
 
+// EngineMode selects how aggressively the engine elides work. All modes
+// are bit-identical in every architected outcome (cycle counts, component
+// statistics, telemetry fingerprints); they differ only in host-side cost
+// and in the engine's own diagnostic counters.
+type EngineMode int
+
+const (
+	// ModeWakeCached (the default) is the fastest path: idle components
+	// are skipped, quiet stretches are fast-forwarded, and a component
+	// whose NextEvent answer is Never is marked dormant and excluded from
+	// the per-cycle query loop until its Handle is woken.
+	ModeWakeCached EngineMode = iota
+	// ModeQuiescent skips idle components and fast-forwards quiet
+	// stretches but re-queries Never-reporting components every executed
+	// cycle (the PR 1 behaviour, kept as an equivalence reference).
+	ModeQuiescent
+	// ModeNaive ticks every component every cycle — the ground-truth
+	// reference path for the determinism equivalence tests.
+	ModeNaive
+)
+
+// String names the mode for benchmarks and error messages.
+func (m EngineMode) String() string {
+	switch m {
+	case ModeWakeCached:
+		return "wake-cached"
+	case ModeQuiescent:
+		return "quiescent"
+	case ModeNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("EngineMode(%d)", int(m))
+}
+
 // Engine owns simulated time and the ordered set of components.
 // The zero value is not usable; call New.
 type Engine struct {
@@ -139,44 +184,66 @@ type Engine struct {
 	names []string
 
 	// Parallel to comps: the quiescence view of each component (nil when
-	// the component does not implement the interface) and the last cycle
-	// it was actually ticked (-1 before the first tick).
+	// the component does not implement the interface), the last cycle it
+	// was actually ticked (-1 before the first tick), and whether its
+	// last NextEvent answer was Never (dormant components are not queried
+	// again until woken; ModeWakeCached only).
 	idle     []IdleComponent
 	skip     []SkipAware
 	lastTick []Cycle
+	dormant  []bool
 
-	quiescence bool
-	ticking    bool
+	mode    EngineMode
+	ticking bool
 
 	probe      Probe
 	nextSample Cycle
 
 	// SkippedTicks counts component ticks elided at executed cycles;
 	// FastForwarded counts whole cycles jumped over because every
-	// component agreed the machine was quiet. Both are diagnostics: they
-	// do not affect simulated time.
+	// component agreed the machine was quiet; DormantSkips counts the
+	// subset of SkippedTicks elided without a NextEvent query because the
+	// component was dormant. All are diagnostics: they do not affect
+	// simulated time.
 	SkippedTicks  int64
 	FastForwarded int64
+	DormantSkips  int64
 }
 
-// New returns an empty engine at cycle zero with quiescence awareness
-// enabled.
-func New() *Engine { return &Engine{quiescence: true, nextSample: Never} }
+// New returns an empty engine at cycle zero in ModeWakeCached.
+func New() *Engine { return &Engine{nextSample: Never} }
 
-// SetQuiescence enables or disables the quiescence-aware fast path.
-// Disabled, the engine ticks every component every cycle (the naive
-// reference path used by the determinism equivalence tests). Turning the
-// fast path off settles any deferred skip accounting first, so the toggle
-// is safe between runs.
-func (e *Engine) SetQuiescence(on bool) {
-	if !on && e.quiescence {
-		e.Settle()
+// SetMode selects the engine path. Switching settles any deferred skip
+// accounting and clears dormancy first, so the toggle is safe between
+// runs: the new path starts from fully settled state and re-discovers
+// quiescence on its own terms.
+func (e *Engine) SetMode(m EngineMode) {
+	if m == e.mode {
+		return
 	}
-	e.quiescence = on
+	e.Settle()
+	for i := range e.dormant {
+		e.dormant[i] = false
+	}
+	e.mode = m
 }
 
-// Quiescence reports whether the fast path is enabled.
-func (e *Engine) Quiescence() bool { return e.quiescence }
+// Mode reports the selected engine path.
+func (e *Engine) Mode() EngineMode { return e.mode }
+
+// SetQuiescence enables or disables the quiescence-aware fast path:
+// on selects ModeWakeCached, off selects ModeNaive. Kept for callers
+// predating EngineMode.
+func (e *Engine) SetQuiescence(on bool) {
+	if on {
+		e.SetMode(ModeWakeCached)
+	} else {
+		e.SetMode(ModeNaive)
+	}
+}
+
+// Quiescence reports whether a fast path (any mode but naive) is enabled.
+func (e *Engine) Quiescence() bool { return e.mode != ModeNaive }
 
 // SetProbe installs (or, with nil, removes) the telemetry probe. The
 // probe is shared by both engine paths, so a sampled run records the
@@ -208,10 +275,47 @@ func (e *Engine) maybeSample() {
 	}
 }
 
-// Register adds a component to the tick order. Components are ticked in
-// registration order each cycle; registration order is therefore part of
-// the machine definition and must be deterministic.
-func (e *Engine) Register(name string, c Component) {
+// A Handle identifies a registered component to its engine. The zero
+// Handle is valid and inert: waking it is a no-op, so components built
+// without an engine (unit-test doubles) need no special casing.
+type Handle struct {
+	eng *Engine
+	idx int
+}
+
+// Wake marks the component runnable again after external stimulus. It
+// clears the dormant flag set when the component's last NextEvent answer
+// was Never, so the engine resumes querying it: from the next cycle if
+// the waker ticks later in registration order than the woken component,
+// or within the current cycle otherwise — exactly when the naive engine
+// would next observe the stimulus. Waking a non-dormant component is a
+// cheap no-op, so stimulus entry points may call it unconditionally.
+func (h Handle) Wake() {
+	if h.eng != nil {
+		h.eng.dormant[h.idx] = false
+	}
+}
+
+// Waker is the stimulus-notification half of the wake API: anything that
+// can mark a component runnable. Handle implements it; components keep a
+// Waker rather than a Handle so tests can substitute their own.
+type Waker interface {
+	Wake()
+}
+
+// WakeSink is implemented by components that cache their engine Handle
+// for self-wakes on external stimulus. Register attaches the component's
+// own Handle automatically, so assembly code never wires wakers by hand.
+type WakeSink interface {
+	AttachWaker(w Waker)
+}
+
+// Register adds a component to the tick order and returns its Handle.
+// Components are ticked in registration order each cycle; registration
+// order is therefore part of the machine definition and must be
+// deterministic. If the component implements WakeSink its own Handle is
+// attached before Register returns.
+func (e *Engine) Register(name string, c Component) Handle {
 	if c == nil {
 		panic("sim: Register called with nil component")
 	}
@@ -222,6 +326,20 @@ func (e *Engine) Register(name string, c Component) {
 	sa, _ := c.(SkipAware)
 	e.skip = append(e.skip, sa)
 	e.lastTick = append(e.lastTick, -1)
+	e.dormant = append(e.dormant, false)
+	h := Handle{eng: e, idx: len(e.comps) - 1}
+	if ws, ok := c.(WakeSink); ok {
+		ws.AttachWaker(h)
+	}
+	return h
+}
+
+// Wake marks a component runnable; equivalent to h.Wake().
+func (e *Engine) Wake(h Handle) {
+	if h.eng != e {
+		panic("sim: Wake with a Handle from a different engine")
+	}
+	h.Wake()
 }
 
 // Components reports the number of registered components.
@@ -242,7 +360,7 @@ func (e *Engine) Now() Cycle { return e.now }
 // path components reporting no work for this cycle are skipped but time
 // never jumps; on the naive path every component is ticked.
 func (e *Engine) Step() {
-	if e.quiescence {
+	if e.mode != ModeNaive {
 		e.advance(e.now + 1)
 		return
 	}
@@ -263,22 +381,39 @@ func (e *Engine) Step() {
 // bit-identical.
 func (e *Engine) MidCycle() bool { return e.ticking }
 
-// advance executes the cycle at e.now on the quiescence path, then moves
+// advance executes the cycle at e.now on the fast paths, then moves
 // time forward: by one cycle normally, or in a single jump to the
 // earliest future event when no component had work, capped at limit.
 // NextEvent is queried per tick slot, so stimulus generated by an
 // earlier-in-order component in the same cycle is observed exactly as on
 // the naive path; a jump happens only when no component ticked at all,
 // which guarantees the queried wake-up times are still valid.
+//
+// In ModeWakeCached a Never answer marks the component dormant: its tick
+// slot is skipped without a query until a Wake. This is exact because
+// Never means "only external stimulus can create an event", every
+// stimulus entry point wakes its component, and a mid-cycle Wake clears
+// the flag before the slot where the naive path would first observe the
+// stimulus (same cycle when the waker ticks earlier in order, next cycle
+// otherwise — NextEvent answers may not depend on tick-slot position
+// within a cycle, per the IdleComponent contract).
 func (e *Engine) advance(limit Cycle) {
 	e.maybeSample()
+	cache := e.mode == ModeWakeCached
 	minNext := Never
 	ticked := false
 	e.ticking = true
 	for i, c := range e.comps {
+		if e.dormant[i] {
+			e.SkippedTicks++
+			e.DormantSkips++
+			continue
+		}
 		if ic := e.idle[i]; ic != nil {
 			if ne := ic.NextEvent(e.now); ne > e.now {
-				if ne < minNext {
+				if ne == Never && cache {
+					e.dormant[i] = true
+				} else if ne < minNext {
 					minNext = ne
 				}
 				e.SkippedTicks++
@@ -319,7 +454,7 @@ func (e *Engine) advance(limit Cycle) {
 // there is never anything deferred (lastTick is not maintained there),
 // so Settle is a no-op.
 func (e *Engine) Settle() {
-	if !e.quiescence {
+	if e.mode == ModeNaive {
 		return
 	}
 	for i, sa := range e.skip {
@@ -338,7 +473,7 @@ func (e *Engine) Settle() {
 // Run advances the simulation by n cycles.
 func (e *Engine) Run(n Cycle) {
 	end := e.now + n
-	if !e.quiescence {
+	if e.mode == ModeNaive {
 		for e.now < end {
 			e.Step()
 		}
@@ -361,10 +496,10 @@ var ErrDeadline = errors.New("sim: deadline exceeded before condition held")
 // changes, so the fast path checks it exactly as often as it can change.
 func (e *Engine) RunUntil(done func() bool, max Cycle) (Cycle, error) {
 	deadline := e.now + max
-	if !e.quiescence {
+	if e.mode == ModeNaive {
 		for !done() {
 			if e.now >= deadline {
-				return e.now, fmt.Errorf("%w (budget %d cycles)", ErrDeadline, max)
+				return e.now, e.deadlineErr(max)
 			}
 			e.Step()
 		}
@@ -373,12 +508,53 @@ func (e *Engine) RunUntil(done func() bool, max Cycle) (Cycle, error) {
 	for !done() {
 		if e.now >= deadline {
 			e.Settle()
-			return e.now, fmt.Errorf("%w (budget %d cycles)", ErrDeadline, max)
+			return e.now, e.deadlineErr(max)
 		}
 		e.advance(deadline)
 	}
 	e.Settle()
 	return e.now, nil
+}
+
+// deadlineErr builds the RunUntil timeout error. When the dormant set is
+// non-empty and no other component has an event scheduled, the machine
+// can never make progress again — the classic symptom of a stimulus entry
+// point that forgot to call Wake — so the error names every dormant
+// component to make the missing call diagnosable.
+func (e *Engine) deadlineErr(max Cycle) error {
+	if stuck := e.stuckDormant(); len(stuck) > 0 {
+		return fmt.Errorf("%w (budget %d cycles; no event scheduled, dormant components awaiting Wake: %s)",
+			ErrDeadline, max, strings.Join(stuck, ", "))
+	}
+	return fmt.Errorf("%w (budget %d cycles)", ErrDeadline, max)
+}
+
+// stuckDormant returns the names of dormant components when they are
+// provably the only possible source of progress: at least one component
+// is dormant, and every non-dormant component both reports quiescence
+// (implements IdleComponent) and has no event scheduled. Any always-
+// active component or pending future event means the machine may still
+// move, so nil is returned.
+func (e *Engine) stuckDormant() []string {
+	var names []string
+	for i := range e.comps {
+		if e.dormant[i] {
+			names = append(names, e.names[i])
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	for i := range e.comps {
+		if e.dormant[i] {
+			continue
+		}
+		ic := e.idle[i]
+		if ic == nil || ic.NextEvent(e.now) != Never {
+			return nil
+		}
+	}
+	return names
 }
 
 // Rand is a small deterministic pseudo-random source (xorshift64*) used by

@@ -11,31 +11,71 @@ func TestCycleConversions(t *testing.T) {
 	if got := Cycle(1).Duration(); got != 170*time.Nanosecond {
 		t.Fatalf("Cycle(1).Duration() = %v, want 170ns", got)
 	}
-	if got := FromDuration(170 * time.Nanosecond); got != 1 {
-		t.Fatalf("FromDuration(170ns) = %d, want 1", got)
+	// Exact cycle boundaries and their neighbours: a positive duration
+	// rounds up, a whole multiple of 170 ns stays exact.
+	cases := []struct {
+		d    time.Duration
+		want Cycle
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{1 * time.Nanosecond, 1},
+		{169 * time.Nanosecond, 1},
+		{170 * time.Nanosecond, 1},
+		{171 * time.Nanosecond, 2},
+		{340 * time.Nanosecond, 2},
+		{341 * time.Nanosecond, 3},
+		{170 * time.Microsecond, 1000},
+		{90 * time.Microsecond, 530}, // the paper's XDOALL startup
 	}
-	if got := FromDuration(171 * time.Nanosecond); got != 2 {
-		t.Fatalf("FromDuration(171ns) = %d, want 2 (round up)", got)
-	}
-	if got := FromDuration(0); got != 0 {
-		t.Fatalf("FromDuration(0) = %d, want 0", got)
-	}
-	if got := FromDuration(-time.Second); got != 0 {
-		t.Fatalf("FromDuration(-1s) = %d, want 0", got)
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Fatalf("FromDuration(%v) = %d, want %d", c.d, got, c.want)
+		}
 	}
 }
 
 func TestFromMicroseconds(t *testing.T) {
-	// 90 us startup from the paper: 90e3 ns / 170 ns = 529.4 -> 530.
-	if got := FromMicroseconds(90); got != 530 {
-		t.Fatalf("FromMicroseconds(90) = %d, want 530", got)
+	cases := []struct {
+		us   float64
+		want Cycle
+	}{
+		{0, 0},
+		{-3, 0},
+		// Exact multiples of 170 ns must not gain a spurious cycle from
+		// float representation error: 0.17 µs is where the old float
+		// divide produced 2 (17.000000000000004/17 ceiled up).
+		{0.17, 1},
+		{0.34, 2},
+		{1.7, 10},
+		{8.5, 50},
+		{17, 100},
+		{85, 500},
+		{870.4, 5120}, // 512 words * 1.7 µs
+		// Non-multiples round up.
+		{0.1, 1},
+		{0.18, 2},
+		{1, 6}, // 1000/170 = 5.88
+		{90, 530},
+		{30, 177},
+		{4, 24},
+		// Runtime and xylem timing constants, pinned so the rounding fix
+		// provably leaves every existing simulated timing unchanged.
+		{0.6, 4},
+		{9, 53},
+		{500, 2942},
+		{2000, 11765},
 	}
-	if got := FromMicroseconds(0); got != 0 {
-		t.Fatalf("FromMicroseconds(0) = %d, want 0", got)
+	for _, c := range cases {
+		if got := FromMicroseconds(c.us); got != c.want {
+			t.Fatalf("FromMicroseconds(%g) = %d, want %d", c.us, got, c.want)
+		}
 	}
-	// Exact multiples do not round up: 1.7 us = 10 cycles.
-	if got := FromMicroseconds(1.7); got != 10 {
-		t.Fatalf("FromMicroseconds(1.7) = %d, want 10", got)
+	// Every whole multiple of 17/100 µs lands exactly on its cycle count.
+	for k := Cycle(1); k <= 10000; k++ {
+		if got := FromMicroseconds(float64(k) * 0.17); got != k {
+			t.Fatalf("FromMicroseconds(%d * 0.17) = %d, want %d", k, got, k)
+		}
 	}
 }
 
