@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-engine bench-telemetry fuzz-equivalence cover ci
+.PHONY: all build test vet race race-fault bench bench-engine bench-telemetry fuzz-equivalence cover ci
 
 all: ci
 
@@ -45,9 +45,17 @@ bench-engine:
 
 # Replays the seeded randomized stimulus schedule (the seed is pinned in
 # fuzz_test.go, so every run sees the same stimuli) on all three engine
-# paths at 1/2/4-cluster scale and diffs fingerprints and trace bytes.
+# paths at 1/2/4-cluster scale and diffs fingerprints and trace bytes —
+# once fault-free and once with the seeded fault injector interleaving
+# network stalls/drops, memory busy/degrade windows and CE check-stops
+# into the same schedule.
 fuzz-equivalence:
-	$(GO) test ./internal/kernels/ -run TestFuzzScheduleEngineEquivalence -v
+	$(GO) test ./internal/kernels/ -run 'TestFuzzScheduleEngineEquivalence|TestFuzzScheduleFaultEngineEquivalence' -v
+
+# Race pass focused on the fault-injection surfaces (injector, engine,
+# networks): the layers the fault PR touches most.
+race-fault:
+	$(GO) test -race ./internal/fault/ ./internal/sim/ ./internal/network/
 
 # Telemetry disabled vs enabled on the engine benchmark workload: "off"
 # must stay within noise of the pre-telemetry engine (the registry is
@@ -66,4 +74,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race fuzz-equivalence bench-engine
+ci: vet test race race-fault fuzz-equivalence bench-engine

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -47,6 +48,8 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", 2000, "telemetry sampling interval in cycles")
 	flame := flag.Bool("flame", false, "print the flamegraph-style activity summary")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+	faultRate := flag.Float64("fault-rate", 0, "mean injected faults per 10k cycles (0 disables fault injection)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -58,7 +61,12 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/ (runtime metrics at /debug/vars)\n", *pprofAddr)
 	}
 
-	m, err := core.New(core.ConfigClusters(*clusters))
+	cfg := core.ConfigClusters(*clusters)
+	if *faultRate > 0 {
+		cfg.Fault = fault.DefaultConfig(*faultSeed)
+		cfg.Fault.MeanInterval = sim.Cycle(10000 / *faultRate)
+	}
+	m, err := core.New(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -115,6 +123,11 @@ func main() {
 	fmt.Printf("network: fwd injected=%d delivered=%d; rev injected=%d delivered=%d\n",
 		m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
 	fmt.Print(m.Utilization())
+	if m.FaultInj != nil {
+		if err := m.FaultInj.SummaryTable().Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 
 	if sampler == nil {
 		return

@@ -46,6 +46,17 @@ type Config struct {
 	// synchronization instruction beyond the network round trip
 	// (default 2 cycles).
 	SyncExtra sim.Cycle
+	// ReadTimeout, when positive, enables request-layer recovery for
+	// global scalar reads: a reply that has not arrived after ReadTimeout
+	// cycles is re-requested under a fresh tag, with exponential backoff
+	// and at most MaxRetries reissues before the CE gives up and reports
+	// the wedge via FaultReason. Sync operations are never retried: the
+	// Test-And-Operate read-modify-write at the module is not idempotent,
+	// so a duplicate could double-apply — the fault injector likewise
+	// never drops sync packets.
+	ReadTimeout sim.Cycle
+	// MaxRetries bounds the reissues per read when ReadTimeout is set.
+	MaxRetries int
 }
 
 // DefaultConfig returns the as-built CE parameters.
@@ -63,6 +74,21 @@ type inflightReq struct {
 	tag      uint64
 	arrived  bool
 	usableAt sim.Cycle
+}
+
+// staleTagCap bounds the ring of forgotten request tags kept so a late
+// reply to a reissued read is recognized and swallowed instead of
+// panicking as unmatched. Reads are never dropped by the fault injector
+// (only delayed), so every forgotten tag's reply arrives while the tag is
+// still in the ring.
+const staleTagCap = 32
+
+// lostReq records the pending request of an exhausted retry, for the
+// FaultReason diagnosis.
+type lostReq struct {
+	tag     uint64
+	addr    uint64
+	retries int
 }
 
 // CE is one computational element. It is a sim.Component; replies from
@@ -102,14 +128,38 @@ type CE struct {
 	replyV       int64
 	replyOK      bool
 
+	// Request-layer recovery state (active only with cfg.ReadTimeout set).
+	reqRetries int
+	reqRetryAt sim.Cycle
+	stale      []uint64
+	lost       *lostReq
+
+	// checkStopped marks a CE halted by an injected check-stop. The halt
+	// takes effect at the next instruction boundary (the operation in
+	// flight drains normally, so no network tags are orphaned); a held
+	// program is surrendered through OnSurrender for gang rescheduling.
+	// Repair clears the stop.
+	checkStopped bool
+
+	// OnSurrender, if non-nil, receives the program a check-stopped CE
+	// gives up, for Xylem-level rescheduling onto a healthy CE in the
+	// same cluster. When nil the CE simply freezes until Repair and then
+	// resumes its program.
+	OnSurrender func(p isa.Program)
+
 	// Counters.
-	Flops       int64
-	OpsDone     int64
-	StallMem    int64 // cycles waiting on data
-	StallNet    int64 // cycles the network refused an injection
-	IdleCycles  int64
-	FinishedAt  sim.Cycle
-	everStarted bool
+	Flops            int64
+	OpsDone          int64
+	StallMem         int64 // cycles waiting on data
+	StallNet         int64 // cycles the network refused an injection
+	IdleCycles       int64
+	Retries          int64 // scalar reads reissued after a timeout
+	LateReplies      int64 // replies to forgotten (reissued) tags, swallowed
+	RetriesExhausted int64 // reads abandoned with retries exhausted
+	CheckStops       int64 // check-stop faults applied
+	Surrendered      int64 // programs given up to the rescheduler
+	FinishedAt       sim.Cycle
+	everStarted      bool
 }
 
 // New builds a CE. route maps a global word address to its forward-network
@@ -172,7 +222,36 @@ func (c *CE) ForceProgram(p isa.Program) {
 }
 
 // Idle reports whether the CE has no program and no operation in flight.
-func (c *CE) Idle() bool { return c.prog == nil && c.cur == nil }
+// A check-stopped CE is not idle: dispatchers must not target it and the
+// machine is not quiescent until it is repaired.
+func (c *CE) Idle() bool { return !c.checkStopped && c.prog == nil && c.cur == nil }
+
+// CheckStop halts the CE at its next instruction boundary: the operation
+// in flight drains normally (so no reply tags are orphaned in the
+// networks), then a held program is surrendered via OnSurrender and the
+// CE freezes until Repair. A check-stop on an already-stopped CE is a
+// no-op.
+func (c *CE) CheckStop() {
+	if c.checkStopped {
+		return
+	}
+	c.checkStopped = true
+	c.CheckStops++
+	c.wake()
+}
+
+// Repair clears a check-stop: the CE becomes dispatchable again (and, if
+// it still holds a program because no rescheduler claimed it, resumes).
+func (c *CE) Repair() {
+	if !c.checkStopped {
+		return
+	}
+	c.checkStopped = false
+	c.wake()
+}
+
+// CheckStopped reports whether the CE is halted by a check-stop.
+func (c *CE) CheckStopped() bool { return c.checkStopped }
 
 // NextEvent implements sim.IdleComponent: the earliest cycle at which
 // ticking this CE could change observable state. States that accrue
@@ -241,11 +320,42 @@ func (c *CE) Deliver(now sim.Cycle, p *network.Packet) bool {
 			return true
 		}
 	}
+	for i, t := range c.stale {
+		if t == p.Tag {
+			// The original reply to a read that was reissued after a
+			// timeout: its data was (or will be) superseded by the
+			// retry's. Swallow it so the reverse network does not retry
+			// the delivery forever.
+			c.stale = append(c.stale[:i], c.stale[i+1:]...)
+			c.LateReplies++
+			return true
+		}
+	}
 	panic(fmt.Sprintf("ce %d: unmatched reply tag %d", c.ID, p.Tag))
+}
+
+// forgetTag moves a reissued read's old tag into the stale ring.
+func (c *CE) forgetTag(tag uint64) {
+	c.stale = append(c.stale, tag)
+	if len(c.stale) > staleTagCap {
+		c.stale = c.stale[1:]
+	}
 }
 
 // Tick advances the CE one cycle.
 func (c *CE) Tick(now sim.Cycle) {
+	if c.checkStopped && c.cur == nil {
+		// Instruction boundary under a check-stop: surrender a held
+		// program to the rescheduler (once), then freeze until Repair.
+		if c.prog != nil && c.OnSurrender != nil {
+			p := c.prog
+			c.prog = nil
+			c.Surrendered++
+			c.OnSurrender(p)
+		}
+		c.IdleCycles++
+		return
+	}
 	if c.cur == nil {
 		if c.prog == nil {
 			c.IdleCycles++
@@ -314,6 +424,7 @@ func (c *CE) start(op *isa.Op, now sim.Cycle) {
 func (c *CE) complete(now sim.Cycle, v int64, ok bool) {
 	op := c.cur
 	c.cur = nil
+	c.lost = nil // a very late reply can still rescue an abandoned read
 	c.OpsDone++
 	if op.Do != nil {
 		op.Do()
@@ -347,12 +458,12 @@ func (c *CE) tickVector(now sim.Cycle) {
 		c.tickVectorStore(now)
 		return
 	}
-	// Consume.
+	// Consume. A failed Consume is the modeled spin-wait on the buffer
+	// slot's full/empty bit; the CE charges it as a memory stall.
 	consumed := false
 	if op.UsePrefetch {
 		if c.vDone < op.N {
-			if c.pfu.Ready() {
-				c.pfu.Consume()
+			if _, ok := c.pfu.Consume(); ok {
 				c.vDone++
 				c.Flops += int64(op.Flops)
 				consumed = true
@@ -451,6 +562,10 @@ func (c *CE) startScalar(op *isa.Op, now sim.Cycle) {
 		} else {
 			c.waitTag = tag
 			c.finishAt = -2 // waiting on reply
+			if c.cfg.ReadTimeout > 0 {
+				c.reqRetries = 0
+				c.reqRetryAt = now + c.cfg.ReadTimeout
+			}
 		}
 		return
 	}
@@ -476,12 +591,57 @@ func (c *CE) tickScalar(now sim.Cycle) {
 			c.complete(now, c.replyV, c.replyOK)
 		} else {
 			c.StallMem++
+			if c.cfg.ReadTimeout > 0 && !c.replyArrived && now >= c.reqRetryAt {
+				c.retryScalar(now)
+			}
 		}
 	default:
 		if now >= c.finishAt {
 			c.complete(now, 0, true)
 		}
 	}
+}
+
+// retryScalar reissues the pending global read under a fresh tag after
+// its deadline expired, with exponential backoff; once MaxRetries is
+// exhausted the request is recorded for FaultReason and the CE keeps
+// waiting (the surrounding RunUntil budget converts the wedge into a
+// diagnosable error).
+func (c *CE) retryScalar(now sim.Cycle) {
+	op := c.cur
+	if c.reqRetries >= c.cfg.MaxRetries {
+		if c.lost == nil {
+			c.RetriesExhausted++
+			c.lost = &lostReq{tag: c.waitTag, addr: op.ScalarAddr.Word, retries: c.reqRetries}
+		}
+		return
+	}
+	tag := c.newTag()
+	p := &network.Packet{Dst: c.route(op.ScalarAddr.Word), Src: c.Port, Words: 1,
+		Kind: network.Read, Addr: op.ScalarAddr.Word, Tag: tag, Phantom: true}
+	if !c.fwd.Offer(now, c.Port, p) {
+		c.StallNet++
+		return // port busy: try again next cycle (deadline already due)
+	}
+	c.forgetTag(c.waitTag)
+	c.waitTag = tag
+	c.Retries++
+	c.reqRetries++
+	shift := uint(c.reqRetries)
+	if shift > 6 {
+		shift = 6
+	}
+	c.reqRetryAt = now + c.cfg.ReadTimeout<<shift
+}
+
+// FaultReason implements sim.FaultReporter: non-empty once a scalar
+// read's reissues are exhausted, naming the pending request.
+func (c *CE) FaultReason() string {
+	if c.lost != nil {
+		return fmt.Sprintf("scalar read of word %#x (tag %d) unanswered after %d reissues",
+			c.lost.addr, c.lost.tag, c.lost.retries)
+	}
+	return ""
 }
 
 func (c *CE) startSync(op *isa.Op, now sim.Cycle) {

@@ -1,6 +1,8 @@
 package ce
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -345,5 +347,173 @@ func TestStoreStreamUnderCongestion(t *testing.T) {
 	}
 	if stalls == 0 {
 		t.Fatal("no network stalls under aliased store contention")
+	}
+}
+
+// newCfgRig is newRig with a caller-supplied CE config, for the
+// request-recovery tests.
+func newCfgRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	eng := sim.New()
+	fwd := network.MustNew("forward", 64, 8, 0)
+	rev := network.MustNew("reverse", 64, 8, 0)
+	g, err := gmem.New(gmem.Config{Words: 4096, Modules: 32, ServiceCycles: 2, QueueWords: 4}, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < g.Modules(); m++ {
+		fwd.SetSink(m, g.Module(m))
+	}
+	ch := cache.New(cache.Config{Words: 1024, CEs: 1})
+	u := prefetch.New(fwd, 0, 0, -1)
+	u.SetRouter(g.ModuleOf)
+	c := New(cfg, 0, 0, 0, fwd, ch, u, g.ModuleOf)
+	rev.SetSink(0, network.SinkFunc(func(p *network.Packet) bool { return c.Deliver(eng.Now(), p) }))
+	for p := 1; p < 64; p++ {
+		rev.SetSink(p, network.SinkFunc(func(*network.Packet) bool { return true }))
+	}
+	eng.Register("ce", c)
+	eng.Register("pfu", u)
+	eng.Register("fwd", fwd)
+	for m := 0; m < g.Modules(); m++ {
+		eng.Register("mod", g.Module(m))
+	}
+	eng.Register("rev", rev)
+	return &rig{eng: eng, ce: c, g: g}
+}
+
+// fwdOf digs the forward network back out of the rig for fault calls.
+func (r *rig) fwdOf() *network.Network { return r.ce.fwd }
+
+func retryCfg(timeout sim.Cycle, max int) Config {
+	cfg := DefaultConfig()
+	cfg.ReadTimeout = timeout
+	cfg.MaxRetries = max
+	return cfg
+}
+
+func TestScalarReadRetryRecoversDrop(t *testing.T) {
+	r := newCfgRig(t, retryCfg(30, 3))
+	r.g.StoreWord(9, 4242)
+	var got int64
+	op := isa.NewScalarLoad(isa.Addr{Space: isa.Global, Word: 9})
+	op.OnDone = func(v int64, ok bool) { got = v }
+	r.ce.SetProgram(isa.NewSeq(op))
+	// The request offered at cycle 0 sits in stage-0 switch 0 input 0
+	// after one executed cycle (port 0's shuffle wiring); drop it there.
+	r.eng.Run(1)
+	pk := r.fwdOf().DropSwitchHead(0, 0, 0, nil)
+	if pk == nil || pk.Tag < tagBase {
+		t.Fatalf("dropped %+v, want the CE's tagged read", pk)
+	}
+	r.runToIdle(t)
+	if got != 4242 {
+		t.Fatalf("scalar load returned %d after retry, want 4242", got)
+	}
+	if r.ce.Retries != 1 || r.ce.LateReplies != 0 || r.ce.RetriesExhausted != 0 {
+		t.Fatalf("Retries=%d LateReplies=%d Exhausted=%d, want 1,0,0",
+			r.ce.Retries, r.ce.LateReplies, r.ce.RetriesExhausted)
+	}
+	if reason := r.ce.FaultReason(); reason != "" {
+		t.Fatalf("healthy CE reports fault %q", reason)
+	}
+}
+
+func TestScalarLateReplySwallowed(t *testing.T) {
+	// Delay (don't drop) the original request past the timeout: the retry
+	// races it, and the superseded original's reply must land in the stale
+	// ring instead of panicking as an unmatched tag.
+	r := newCfgRig(t, retryCfg(30, 3))
+	r.g.StoreWord(9, 777)
+	r.fwdOf().StallEntry(0, 0, 60)
+	var got int64
+	op := isa.NewScalarLoad(isa.Addr{Space: isa.Global, Word: 9})
+	op.OnDone = func(v int64, ok bool) { got = v }
+	r.ce.SetProgram(isa.NewSeq(op))
+	r.runToIdle(t)
+	if got != 777 {
+		t.Fatalf("scalar load returned %d, want 777", got)
+	}
+	if r.ce.Retries != 1 || r.ce.LateReplies != 1 {
+		t.Fatalf("Retries=%d LateReplies=%d, want 1,1", r.ce.Retries, r.ce.LateReplies)
+	}
+}
+
+func TestScalarRetriesExhaustedSurfacesErrDeadline(t *testing.T) {
+	// Every issue and reissue is dropped: the CE must exhaust its retry
+	// budget and the run must end in ErrDeadline naming the CE and the
+	// pending word — no hang, no panic.
+	r := newCfgRig(t, retryCfg(10, 2))
+	op := isa.NewScalarLoad(isa.Addr{Space: isa.Global, Word: 9})
+	r.ce.SetProgram(isa.NewSeq(op))
+	for i := 0; i < 200; i++ {
+		r.eng.Run(1)
+		r.fwdOf().DropSwitchHead(0, 0, 0, nil)
+	}
+	if r.ce.RetriesExhausted != 1 || r.ce.Retries != 2 {
+		t.Fatalf("RetriesExhausted=%d Retries=%d, want 1,2", r.ce.RetriesExhausted, r.ce.Retries)
+	}
+	_, err := r.eng.RunUntil(r.ce.Idle, 5000)
+	if !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	for _, want := range []string{"ce", "scalar read of word 0x9", "unanswered after 2 reissues"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadline error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCheckStopDrainsThenSurrenders(t *testing.T) {
+	r := newRig(t)
+	var surrendered isa.Program
+	r.ce.OnSurrender = func(p isa.Program) { surrendered = p }
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(50), isa.NewCompute(7)))
+	r.eng.Run(5)
+	r.ce.CheckStop()
+	if !r.ce.CheckStopped() || r.ce.Idle() {
+		t.Fatal("check-stopped CE should report CheckStopped and not Idle")
+	}
+	at, err := r.eng.RunUntil(func() bool { return surrendered != nil }, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The op in flight drains before the halt takes effect.
+	if at < 50 {
+		t.Fatalf("surrendered at %d, before the in-flight compute drained (50)", at)
+	}
+	if r.ce.OpsDone != 1 || r.ce.Surrendered != 1 || r.ce.CheckStops != 1 {
+		t.Fatalf("OpsDone=%d Surrendered=%d CheckStops=%d, want 1,1,1",
+			r.ce.OpsDone, r.ce.Surrendered, r.ce.CheckStops)
+	}
+	r.ce.CheckStop() // no-op on an already-stopped CE
+	if r.ce.CheckStops != 1 {
+		t.Fatalf("repeated CheckStop bumped the counter to %d", r.ce.CheckStops)
+	}
+	// After repair the CE is dispatchable and can finish the surrendered
+	// remainder itself.
+	r.ce.Repair()
+	if !r.ce.Idle() {
+		t.Fatal("repaired CE not idle")
+	}
+	r.ce.SetProgram(surrendered)
+	r.runToIdle(t)
+	if r.ce.OpsDone != 2 {
+		t.Fatalf("OpsDone = %d after rerunning the surrendered program, want 2", r.ce.OpsDone)
+	}
+}
+
+func TestCheckStopWithoutSurrenderFreezesUntilRepair(t *testing.T) {
+	r := newRig(t)
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(10)))
+	r.ce.CheckStop()
+	r.eng.Run(100)
+	if r.ce.OpsDone != 0 {
+		t.Fatalf("frozen CE executed %d ops", r.ce.OpsDone)
+	}
+	r.ce.Repair()
+	r.runToIdle(t)
+	if r.ce.OpsDone != 1 || r.ce.FinishedAt < 110 {
+		t.Fatalf("OpsDone=%d FinishedAt=%d, want 1 and >=110", r.ce.OpsDone, r.ce.FinishedAt)
 	}
 }

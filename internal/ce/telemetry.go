@@ -12,5 +12,10 @@ func (c *CE) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/stall_mem", &c.StallMem)
 	reg.Counter(prefix+"/stall_net", &c.StallNet)
 	reg.Counter(prefix+"/idle_cycles", &c.IdleCycles)
+	reg.Counter(prefix+"/retries", &c.Retries)
+	reg.Counter(prefix+"/late_replies", &c.LateReplies)
+	reg.Counter(prefix+"/retries_exhausted", &c.RetriesExhausted)
+	reg.Counter(prefix+"/check_stops", &c.CheckStops)
+	reg.Counter(prefix+"/surrendered", &c.Surrendered)
 	reg.Gauge(prefix+"/finished_at", func() int64 { return int64(c.FinishedAt) })
 }

@@ -23,12 +23,14 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ce"
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/gmem"
 	"repro/internal/isa"
 	"repro/internal/network"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/xylem"
 )
 
 // Config describes a Cedar machine.
@@ -68,6 +70,12 @@ type Config struct {
 	// NaiveEngine forces sim.ModeNaive regardless of EngineMode; kept
 	// for callers predating EngineMode.
 	NaiveEngine bool
+	// Fault configures deterministic fault injection and the recovery
+	// knobs (request timeouts, retry budgets, gang rescheduling). The
+	// zero value disables the subsystem entirely: no injector or
+	// rescheduler is built and the machine is bit-identical to a build
+	// predating the fault layer.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the as-built, full four-cluster Cedar.
@@ -118,6 +126,10 @@ type Machine struct {
 	Rev      *network.Network
 	Global   *gmem.Global
 	Clusters []*cluster.Cluster
+
+	// FaultInj and Resched are non-nil only when cfg.Fault is enabled.
+	FaultInj *fault.Injector
+	Resched  *xylem.Rescheduler
 
 	ces []*ce.CE
 
@@ -173,7 +185,18 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Fault.Enabled() {
+		// With faults possible, reads must be able to reissue: push the
+		// request-layer recovery knobs into every CE (and, below, every
+		// PFU), and build the Xylem rescheduler that catches programs
+		// surrendered by check-stopped CEs.
+		cfg.CE.ReadTimeout = cfg.Fault.ReadTimeout
+		cfg.CE.MaxRetries = cfg.Fault.MaxRetries
+	}
 	m := &Machine{cfg: cfg, Eng: eng, Fwd: fwd, Rev: rev, Global: g}
+	if cfg.Fault.Enabled() {
+		m.Resched = xylem.NewRescheduler(cfg.Fault.RescheduleLatency)
+	}
 
 	// Global memory modules sink the forward network; the module index
 	// is the port.
@@ -201,7 +224,16 @@ func New(cfg Config) (*Machine, error) {
 			id := cl*cfg.Cluster.CEs + i
 			u := prefetch.New(fwd, id, cfg.PageWords, cfg.PageCrossCycles)
 			u.SetRouter(route)
+			if cfg.Fault.Enabled() {
+				u.SetTimeout(cfg.Fault.ReadTimeout, cfg.Fault.MaxRetries)
+			}
 			c := ce.New(cfg.CE, id, id, i, fwd, ch, u, route)
+			if m.Resched != nil {
+				clIdx := cl
+				c.OnSurrender = func(p isa.Program) {
+					m.Resched.Surrender(eng.Now(), clIdx, p)
+				}
+			}
 			ces[i] = c
 			m.ces = append(m.ces, c)
 			rev.SetSink(id, network.SinkFunc(func(p *network.Packet) bool {
@@ -211,6 +243,13 @@ func New(cfg Config) (*Machine, error) {
 		clu := cluster.New(cfg.Cluster, cl, ch, ces)
 		clu.IPs = cluster.NewIP(nil)
 		m.Clusters = append(m.Clusters, clu)
+		if m.Resched != nil {
+			targets := make([]xylem.GangTarget, len(ces))
+			for i, c := range ces {
+				targets[i] = c
+			}
+			m.Resched.AddGroup(targets...)
+		}
 	}
 	for p := nces; p < ports; p++ {
 		port := p
@@ -219,10 +258,33 @@ func New(cfg Config) (*Machine, error) {
 		}))
 	}
 
+	if cfg.Fault.Enabled() {
+		var mods []*gmem.Module
+		for mod := 0; mod < g.Modules(); mod++ {
+			mods = append(mods, g.Module(mod))
+		}
+		stoppable := make([]fault.StoppableCE, len(m.ces))
+		for i, c := range m.ces {
+			stoppable[i] = c
+		}
+		m.FaultInj = fault.NewInjector(cfg.Fault, fwd, rev, mods, stoppable)
+	}
+
 	// Tick order: CEs, prefetch units, forward network, memory modules,
 	// reverse network. A CE can fire its PFU and have the first request
 	// enter the forward network in the same cycle; replies injected by a
 	// module this cycle start their reverse trip this cycle.
+	//
+	// The fault injector, when present, registers FIRST: its tick slot
+	// precedes every architected component, so a fault window opened at
+	// cycle t is visible to its target's own tick at t in every engine
+	// mode — the property that keeps fault-injected runs mode-identical.
+	// The rescheduler follows it, ahead of the CEs, so a ready task can
+	// be redispatched at the start of the cycle it becomes due.
+	if m.FaultInj != nil {
+		m.Eng.Register("fault", m.FaultInj)
+		m.Eng.Register("resched", m.Resched)
+	}
 	for _, c := range m.ces {
 		m.Eng.Register(fmt.Sprintf("ce%d", c.ID), c)
 	}
@@ -277,11 +339,18 @@ func (m *Machine) AllocGlobal(n uint64) uint64 {
 func (m *Machine) AllocGlobalReset() { m.globalAllocNext = 0 }
 
 // Idle reports whether every CE is idle and both networks are drained.
+// A check-stopped CE is not idle (ce.Idle is false until repair), and
+// neither is the machine while a surrendered program awaits
+// redispatch — both guards keep RunUntilIdle honest under fault
+// injection.
 func (m *Machine) Idle() bool {
 	for _, c := range m.ces {
 		if !c.Idle() {
 			return false
 		}
+	}
+	if m.Resched != nil && m.Resched.Pending() > 0 {
+		return false
 	}
 	return m.Fwd.InFlight() == 0 && m.Rev.InFlight() == 0
 }

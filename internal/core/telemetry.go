@@ -42,6 +42,10 @@ func (m *Machine) registerAll(reg *telemetry.Registry) {
 	for mod := 0; mod < m.Global.Modules(); mod++ {
 		m.Global.Module(mod).RegisterMetrics(reg, fmt.Sprintf("gmem/mod%d", mod))
 	}
+	if m.FaultInj != nil {
+		m.FaultInj.RegisterMetrics(reg, "fault")
+		m.Resched.RegisterMetrics(reg, "xylem/resched")
+	}
 	// Engine skip/jump statistics are host-side diagnostics: they
 	// legitimately differ between the quiescence-aware and naive paths,
 	// so they are registered fenced off from fingerprints.

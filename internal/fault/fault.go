@@ -1,0 +1,371 @@
+// Package fault injects deterministic transient faults into the Cedar
+// model: omega-network switch-port stalls and dropped packets, global
+// memory-module busy and degraded-service (ECC-retry) windows, and CE
+// check-stops. Every fault is drawn from a seeded schedule, so a run with
+// a given seed is exactly reproducible — and, because the injector is a
+// sim.IdleComponent registered ahead of the architected components, the
+// schedule lands on identical cycles in all three engine modes, keeping
+// fault-injected runs bit-identical across naive, quiescent, and
+// wake-cached execution.
+//
+// Recovery is the other half of the model and lives with the affected
+// layers: request-layer timeout and reissue in prefetch and ce, graceful
+// degradation in gmem, and Xylem-level gang rescheduling of a cluster
+// task off a check-stopped CE. The injector only creates the hazards and
+// repairs check-stopped CEs after a repair window.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/gmem"
+	"repro/internal/network"
+	"repro/internal/prefetch"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// NetStall blocks one network resource (an entry register, a switch
+	// output port, or a delivery link) for StallWindow cycles.
+	NetStall Kind = iota
+	// NetDrop discards one in-flight prefetch packet (request or reply).
+	// Only prefetch-tagged Read/Reply packets are droppable: sync
+	// operations are not idempotent at the module, and CE direct reads
+	// rely on delay-only faults so every stale tag's reply eventually
+	// arrives.
+	NetDrop
+	// MemBusy makes one memory module refuse to start service for
+	// BusyWindow cycles (a controller check-stop with fast restart).
+	MemBusy
+	// MemDegrade puts one module in an ECC-retry regime: it keeps serving
+	// for DegradeWindow cycles but each access costs DegradePenalty extra.
+	MemDegrade
+	// CheckStop halts one CE at its next instruction boundary until the
+	// injector repairs it RepairWindow cycles later; a held program is
+	// surrendered for gang rescheduling.
+	CheckStop
+	numKinds
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case NetStall:
+		return "net-stall"
+	case NetDrop:
+		return "net-drop"
+	case MemBusy:
+		return "mem-busy"
+	case MemDegrade:
+		return "mem-degrade"
+	case CheckStop:
+		return "check-stop"
+	}
+	return "unknown"
+}
+
+// Config parameterizes the fault schedule and the recovery knobs the
+// machine builder pushes into the affected layers.
+type Config struct {
+	// Seed selects the deterministic fault schedule.
+	Seed uint64
+	// MeanInterval is the mean gap between injected faults in cycles;
+	// zero disables the subsystem entirely (no injector is built, and
+	// the machine is bit-identical to a fault-free build).
+	MeanInterval sim.Cycle
+
+	// Enable flags per fault class. DefaultConfig enables all.
+	EnableNetStall   bool
+	EnableNetDrop    bool
+	EnableMemBusy    bool
+	EnableMemDegrade bool
+	EnableCheckStop  bool
+
+	// StallWindow is the duration of a network resource stall.
+	StallWindow sim.Cycle
+	// BusyWindow is the duration of a memory-module busy fault.
+	BusyWindow sim.Cycle
+	// DegradeWindow and DegradePenalty shape a module's ECC-retry regime.
+	DegradeWindow  sim.Cycle
+	DegradePenalty sim.Cycle
+	// RepairWindow is how long a check-stopped CE stays down before the
+	// injector repairs it.
+	RepairWindow sim.Cycle
+	// RescheduleLatency is the Xylem kernel cost of redispatching a
+	// surrendered cluster task.
+	RescheduleLatency sim.Cycle
+	// ReadTimeout and MaxRetries are the request-layer recovery knobs the
+	// builder pushes into every CE and PFU when the subsystem is enabled.
+	ReadTimeout sim.Cycle
+	MaxRetries  int
+}
+
+// DefaultConfig returns the calibrated fault parameters with all kinds
+// enabled and the schedule disabled (MeanInterval zero) until a rate is
+// chosen.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		EnableNetStall:    true,
+		EnableNetDrop:     true,
+		EnableMemBusy:     true,
+		EnableMemDegrade:  true,
+		EnableCheckStop:   true,
+		StallWindow:       20,
+		BusyWindow:        30,
+		DegradeWindow:     200,
+		DegradePenalty:    2,
+		RepairWindow:      2000,
+		RescheduleLatency: 500,
+		ReadTimeout:       200,
+		MaxRetries:        6,
+	}
+}
+
+// Enabled reports whether the schedule injects anything.
+func (c Config) Enabled() bool { return c.MeanInterval > 0 }
+
+func (c Config) kinds() []Kind {
+	var ks []Kind
+	if c.EnableNetStall {
+		ks = append(ks, NetStall)
+	}
+	if c.EnableNetDrop {
+		ks = append(ks, NetDrop)
+	}
+	if c.EnableMemBusy {
+		ks = append(ks, MemBusy)
+	}
+	if c.EnableMemDegrade {
+		ks = append(ks, MemDegrade)
+	}
+	if c.EnableCheckStop {
+		ks = append(ks, CheckStop)
+	}
+	return ks
+}
+
+// Droppable is the predicate the injector hands to the network drop
+// hooks: only prefetch-tagged data packets may vanish, because the PFU's
+// timeout/reissue path is the one recovery layer that tolerates loss.
+func Droppable(p *network.Packet) bool {
+	return (p.Kind == network.Read || p.Kind == network.Reply) && p.Tag < prefetch.BufferWords
+}
+
+// StoppableCE is the slice of the CE the injector drives for check-stop
+// faults; ce.CE satisfies it.
+type StoppableCE interface {
+	CheckStop()
+	Repair()
+	CheckStopped() bool
+}
+
+// repairTimer schedules the repair of a check-stopped CE.
+type repairTimer struct {
+	ce int
+	at sim.Cycle
+}
+
+// Injector is the seeded fault scheduler. It is a sim.IdleComponent and
+// MUST be registered before every architected component: its tick slot
+// then precedes theirs within a cycle, so a fault window set at cycle t
+// is visible to the target's own tick at t in every engine mode, which
+// is what keeps fault-injected runs mode-bit-identical.
+type Injector struct {
+	cfg   Config
+	rng   *sim.Rand
+	kinds []Kind
+
+	fwd, rev *network.Network
+	mods     []*gmem.Module
+	ces      []StoppableCE
+
+	next    sim.Cycle
+	repairs []repairTimer
+
+	// Counters.
+	Injected    int64 // faults applied
+	NetStalls   int64
+	NetDrops    int64
+	MemBusies   int64
+	MemDegrades int64
+	CheckStops  int64
+	Repairs     int64
+	NoTarget    int64 // scheduled faults with no eligible target (skipped)
+}
+
+// NewInjector builds an injector over the machine's fault surfaces. It
+// panics if the config is not Enabled or enables no fault kind: the
+// builder must simply not construct an injector for a fault-free run.
+func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces []StoppableCE) *Injector {
+	if !cfg.Enabled() {
+		panic("fault: NewInjector with a disabled config")
+	}
+	kinds := cfg.kinds()
+	if len(kinds) == 0 {
+		panic("fault: no fault kinds enabled")
+	}
+	inj := &Injector{
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed),
+		kinds: kinds,
+		fwd:   fwd,
+		rev:   rev,
+		mods:  mods,
+		ces:   ces,
+	}
+	inj.next = inj.gap()
+	return inj
+}
+
+// gap draws the next inter-fault interval: uniform on [1, 2*MeanInterval],
+// mean ~MeanInterval.
+func (inj *Injector) gap() sim.Cycle {
+	return 1 + sim.Cycle(inj.rng.Intn(int(2*inj.cfg.MeanInterval)))
+}
+
+// NextEvent implements sim.IdleComponent: the next fault or repair cycle.
+// The injector is never dormant — there is always a next scheduled fault —
+// so fast-forward remains possible between faults but no fault cycle is
+// ever skipped.
+func (inj *Injector) NextEvent(now sim.Cycle) sim.Cycle {
+	next := inj.next
+	for _, r := range inj.repairs {
+		if r.at < next {
+			next = r.at
+		}
+	}
+	if next < now {
+		return now
+	}
+	return next
+}
+
+// Tick applies due repairs, then a due fault. Guarded so the extra ticks
+// the naive engine delivers draw nothing from the RNG: the draw sequence
+// is a pure function of the schedule, identical in every mode.
+func (inj *Injector) Tick(now sim.Cycle) {
+	kept := inj.repairs[:0]
+	for _, r := range inj.repairs {
+		if r.at <= now {
+			inj.ces[r.ce].Repair()
+			inj.Repairs++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	inj.repairs = kept
+	if now < inj.next {
+		return
+	}
+	inj.inject(now)
+	inj.next = now + inj.gap()
+}
+
+func (inj *Injector) inject(now sim.Cycle) {
+	switch inj.kinds[inj.rng.Intn(len(inj.kinds))] {
+	case NetStall:
+		inj.injectNetStall(now)
+	case NetDrop:
+		inj.injectNetDrop(now)
+	case MemBusy:
+		m := inj.mods[inj.rng.Intn(len(inj.mods))]
+		m.FaultBusy(now, inj.cfg.BusyWindow)
+		inj.MemBusies++
+		inj.Injected++
+	case MemDegrade:
+		m := inj.mods[inj.rng.Intn(len(inj.mods))]
+		m.FaultDegrade(now, inj.cfg.DegradeWindow, inj.cfg.DegradePenalty)
+		inj.MemDegrades++
+		inj.Injected++
+	case CheckStop:
+		inj.injectCheckStop(now)
+	}
+}
+
+// pickNet chooses the forward or reverse network.
+func (inj *Injector) pickNet() *network.Network {
+	if inj.rng.Intn(2) == 0 {
+		return inj.fwd
+	}
+	return inj.rev
+}
+
+func (inj *Injector) injectNetStall(now sim.Cycle) {
+	n := inj.pickNet()
+	w := inj.cfg.StallWindow
+	switch inj.rng.Intn(3) {
+	case 0:
+		n.StallEntry(now, inj.rng.Intn(n.Ports()), w)
+	case 1:
+		s := inj.rng.Intn(n.Stages())
+		swi := inj.rng.Intn(n.Ports() / n.Radix())
+		n.StallSwitchOut(now, s, swi, inj.rng.Intn(n.Radix()), w)
+	case 2:
+		n.StallDelivery(now, inj.rng.Intn(n.Ports()), w)
+	}
+	inj.NetStalls++
+	inj.Injected++
+}
+
+func (inj *Injector) injectNetDrop(now sim.Cycle) {
+	n := inj.pickNet()
+	var pk *network.Packet
+	if inj.rng.Intn(2) == 0 {
+		pk = n.DropEntryHead(inj.rng.Intn(n.Ports()), Droppable)
+	} else {
+		s := inj.rng.Intn(n.Stages())
+		swi := inj.rng.Intn(n.Ports() / n.Radix())
+		pk = n.DropSwitchHead(s, swi, inj.rng.Intn(n.Radix()), Droppable)
+	}
+	if pk == nil {
+		inj.NoTarget++
+		return
+	}
+	inj.NetDrops++
+	inj.Injected++
+}
+
+func (inj *Injector) injectCheckStop(now sim.Cycle) {
+	c := inj.rng.Intn(len(inj.ces))
+	if inj.ces[c].CheckStopped() {
+		inj.NoTarget++
+		return
+	}
+	inj.ces[c].CheckStop()
+	inj.repairs = append(inj.repairs, repairTimer{ce: c, at: now + inj.cfg.RepairWindow})
+	inj.CheckStops++
+	inj.Injected++
+}
+
+// RegisterMetrics publishes the injector's counters under prefix
+// (conventionally "fault").
+func (inj *Injector) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/injected", &inj.Injected)
+	reg.Counter(prefix+"/net_stalls", &inj.NetStalls)
+	reg.Counter(prefix+"/net_drops", &inj.NetDrops)
+	reg.Counter(prefix+"/mem_busies", &inj.MemBusies)
+	reg.Counter(prefix+"/mem_degrades", &inj.MemDegrades)
+	reg.Counter(prefix+"/check_stops", &inj.CheckStops)
+	reg.Counter(prefix+"/repairs", &inj.Repairs)
+	reg.Counter(prefix+"/no_target", &inj.NoTarget)
+}
+
+// SummaryTable renders the injected-fault census for the CLI report.
+func (inj *Injector) SummaryTable() *report.Table {
+	t := report.NewTable("Injected faults", "kind", "count")
+	t.AddRow(NetStall.String(), fmt.Sprint(inj.NetStalls))
+	t.AddRow(NetDrop.String(), fmt.Sprint(inj.NetDrops))
+	t.AddRow(MemBusy.String(), fmt.Sprint(inj.MemBusies))
+	t.AddRow(MemDegrade.String(), fmt.Sprint(inj.MemDegrades))
+	t.AddRow(CheckStop.String(), fmt.Sprint(inj.CheckStops))
+	t.AddRow("repairs", fmt.Sprint(inj.Repairs))
+	t.AddRow("no-target", fmt.Sprint(inj.NoTarget))
+	t.AddNote(fmt.Sprintf("seed %#x, mean interval %d cycles", inj.cfg.Seed, inj.cfg.MeanInterval))
+	return t
+}

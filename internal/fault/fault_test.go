@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gmem"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// stopCE is a StoppableCE recording the cycles it was stopped/repaired.
+type stopCE struct {
+	stopped  bool
+	stops    int
+	repairs  int
+	eventLog []string
+}
+
+func (s *stopCE) CheckStop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.stops++
+	s.eventLog = append(s.eventLog, "stop")
+}
+func (s *stopCE) Repair() {
+	if !s.stopped {
+		return
+	}
+	s.stopped = false
+	s.repairs++
+	s.eventLog = append(s.eventLog, "repair")
+}
+func (s *stopCE) CheckStopped() bool { return s.stopped }
+
+type faultRig struct {
+	eng  *sim.Engine
+	inj  *Injector
+	fwd  *network.Network
+	rev  *network.Network
+	g    *gmem.Global
+	mods []*gmem.Module
+	ces  []*stopCE
+}
+
+func newFaultRig(t *testing.T, cfg Config) *faultRig {
+	t.Helper()
+	eng := sim.New()
+	fwd := network.MustNew("forward", 8, 8, 0)
+	rev := network.MustNew("reverse", 8, 8, 0)
+	g, err := gmem.New(gmem.Config{Words: 512, Modules: 8, ServiceCycles: 2, QueueWords: 4}, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mods []*gmem.Module
+	for m := 0; m < g.Modules(); m++ {
+		fwd.SetSink(m, g.Module(m))
+		mods = append(mods, g.Module(m))
+	}
+	for p := 0; p < 8; p++ {
+		rev.SetSink(p, network.SinkFunc(func(*network.Packet) bool { return true }))
+	}
+	ces := []*stopCE{{}, {}, {}, {}}
+	var stoppable []StoppableCE
+	for _, c := range ces {
+		stoppable = append(stoppable, c)
+	}
+	inj := NewInjector(cfg, fwd, rev, mods, stoppable)
+	eng.Register("fault", inj) // injector first: its tick slot precedes all targets
+	eng.Register("fwd", fwd)
+	for _, m := range mods {
+		eng.Register("mod", m)
+	}
+	eng.Register("rev", rev)
+	return &faultRig{eng: eng, inj: inj, fwd: fwd, rev: rev, g: g, mods: mods, ces: ces}
+}
+
+func census(inj *Injector) [8]int64 {
+	return [8]int64{inj.Injected, inj.NetStalls, inj.NetDrops, inj.MemBusies,
+		inj.MemDegrades, inj.CheckStops, inj.Repairs, inj.NoTarget}
+}
+
+func TestScheduleIsSeedDeterministic(t *testing.T) {
+	cfg := DefaultConfig(0xC3DA2)
+	cfg.MeanInterval = 50
+	a := newFaultRig(t, cfg)
+	b := newFaultRig(t, cfg)
+	a.eng.Run(20000)
+	b.eng.Run(20000)
+	if census(a.inj) != census(b.inj) {
+		t.Fatalf("same seed diverged:\n  a=%v\n  b=%v", census(a.inj), census(b.inj))
+	}
+	if a.inj.Injected == 0 {
+		t.Fatal("no faults injected over 20k cycles at mean interval 50")
+	}
+	cfg.Seed = 0x51DE
+	c := newFaultRig(t, cfg)
+	c.eng.Run(20000)
+	if census(a.inj) == census(c.inj) {
+		t.Fatal("different seeds produced an identical fault census")
+	}
+}
+
+func TestAllEnabledKindsEventuallyFire(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.MeanInterval = 20
+	r := newFaultRig(t, cfg)
+	r.eng.Run(50000)
+	if r.inj.NetStalls == 0 || r.inj.MemBusies == 0 || r.inj.MemDegrades == 0 || r.inj.CheckStops == 0 {
+		t.Fatalf("kinds missing from a long run: %+v", census(r.inj))
+	}
+	// Module-side effects landed.
+	var busies, degrades int64
+	for _, m := range r.mods {
+		busies += m.BusyFaults
+		degrades += m.DegradeFaults
+	}
+	if busies != r.inj.MemBusies || degrades != r.inj.MemDegrades {
+		t.Fatalf("module counters (%d busy, %d degrade) disagree with injector (%d, %d)",
+			busies, degrades, r.inj.MemBusies, r.inj.MemDegrades)
+	}
+	if r.fwd.FaultStalls+r.rev.FaultStalls != r.inj.NetStalls {
+		t.Fatalf("network FaultStalls %d+%d, injector NetStalls %d",
+			r.fwd.FaultStalls, r.rev.FaultStalls, r.inj.NetStalls)
+	}
+	// Idle networks carry nothing droppable: every drop is a no-target.
+	if r.inj.NetDrops != 0 {
+		t.Fatalf("dropped %d packets from an idle network", r.inj.NetDrops)
+	}
+}
+
+func TestCheckStopsAreRepairedAfterWindow(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.MeanInterval = 100
+	cfg.RepairWindow = 500
+	cfg.EnableNetStall = false
+	cfg.EnableNetDrop = false
+	cfg.EnableMemBusy = false
+	cfg.EnableMemDegrade = false
+	r := newFaultRig(t, cfg)
+	r.eng.Run(30000)
+	if r.inj.CheckStops == 0 {
+		t.Fatal("no check-stops over 30k cycles")
+	}
+	var stops, repairs int
+	for _, c := range r.ces {
+		stops += c.stops
+		repairs += c.repairs
+		for i, ev := range c.eventLog {
+			want := "stop"
+			if i%2 == 1 {
+				want = "repair"
+			}
+			if ev != want {
+				t.Fatalf("CE event log not alternating stop/repair: %v", c.eventLog)
+			}
+		}
+	}
+	if int64(stops) != r.inj.CheckStops {
+		t.Fatalf("CE stops %d, injector CheckStops %d", stops, r.inj.CheckStops)
+	}
+	// Every stop whose window elapsed was repaired; at most the tail stop
+	// can still be down.
+	if int64(repairs) != r.inj.Repairs || stops-repairs > len(r.ces) {
+		t.Fatalf("stops=%d repairs=%d (injector Repairs=%d)", stops, repairs, r.inj.Repairs)
+	}
+}
+
+func TestInjectorAllowsFastForwardBetweenFaults(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.MeanInterval = 1000
+	r := newFaultRig(t, cfg)
+	// With everything else idle the engine should skip straight to the
+	// injector's scheduled cycles rather than ticking 100k times.
+	r.eng.Run(100000)
+	if r.inj.Injected+r.inj.NoTarget < 30 {
+		t.Fatalf("only %d faults scheduled over 100k cycles at mean interval 1000",
+			r.inj.Injected+r.inj.NoTarget)
+	}
+}
+
+func TestDroppablePredicate(t *testing.T) {
+	cases := []struct {
+		p    network.Packet
+		want bool
+	}{
+		{network.Packet{Kind: network.Read, Tag: 5}, true},
+		{network.Packet{Kind: network.Reply, Tag: 511}, true},
+		{network.Packet{Kind: network.Read, Tag: 1 << 20}, false}, // CE direct read
+		{network.Packet{Kind: network.Sync, Tag: 5}, false},
+		{network.Packet{Kind: network.Write, Tag: 5}, false},
+	}
+	for i, c := range cases {
+		if got := Droppable(&c.p); got != c.want {
+			t.Fatalf("case %d: Droppable(%v tag %d) = %v, want %v", i, c.p.Kind, c.p.Tag, got, c.want)
+		}
+	}
+}
+
+func TestDisabledConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInjector with MeanInterval 0 did not panic")
+		}
+	}()
+	NewInjector(DefaultConfig(1), nil, nil, nil, nil)
+}
+
+func TestSummaryTableRenders(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.MeanInterval = 40
+	r := newFaultRig(t, cfg)
+	r.eng.Run(5000)
+	var sb strings.Builder
+	if err := r.inj.SummaryTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"net-stall", "check-stop", "seed 0x9"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("summary table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

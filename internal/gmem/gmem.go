@@ -136,6 +136,16 @@ type Module struct {
 	service    sim.Cycle
 	nextFreeAt sim.Cycle
 
+	// Fault windows. busyUntil models an ECC-retry/busy glitch: no new
+	// request may enter service before it (the request in service is
+	// unaffected — its data was already latched). degradedUntil models a
+	// module serving through a correctable fault: every request entering
+	// service before it pays degradePenalty extra cycles instead of the
+	// module vanishing.
+	busyUntil      sim.Cycle
+	degradedUntil  sim.Cycle
+	degradePenalty sim.Cycle
+
 	// inService is the request currently in the service pipeline; its
 	// reply becomes available at nextFreeAt.
 	inService *network.Packet
@@ -150,11 +160,34 @@ type Module struct {
 	waker sim.Waker
 
 	// Counters.
-	Served     int64
-	SyncOps    int64
-	Reads      int64
-	Writes     int64
-	BusyCycles int64
+	Served         int64
+	SyncOps        int64
+	Reads          int64
+	Writes         int64
+	BusyCycles     int64
+	BusyFaults     int64 // ECC-retry windows applied
+	DegradeFaults  int64 // degradation windows applied
+	DegradedServes int64 // requests served at the degraded latency
+}
+
+// FaultBusy applies an ECC-retry window: the module accepts no new
+// request into service before now+window. Windows extend, never shrink.
+func (m *Module) FaultBusy(now, window sim.Cycle) {
+	if now+window > m.busyUntil {
+		m.busyUntil = now + window
+	}
+	m.BusyFaults++
+}
+
+// FaultDegrade marks the module degraded until now+window: requests
+// entering service in the window take penalty extra cycles. The module
+// keeps serving — graceful degradation instead of a vanished bank.
+func (m *Module) FaultDegrade(now, window, penalty sim.Cycle) {
+	if now+window > m.degradedUntil {
+		m.degradedUntil = now + window
+	}
+	m.degradePenalty = penalty
+	m.DegradeFaults++
 }
 
 // Offer implements network.Sink: the forward network delivers a request.
@@ -205,6 +238,12 @@ func (m *Module) NextEvent(now sim.Cycle) sim.Cycle {
 		return now
 	}
 	if len(m.queue) > 0 {
+		if m.busyUntil > now {
+			// An ECC-retry window holds the queued request out of service;
+			// the injector ticks before the module each cycle, so the
+			// window can only extend before this slot, never after.
+			return m.busyUntil
+		}
 		return now
 	}
 	return sim.Never
@@ -234,8 +273,10 @@ func (m *Module) Tick(now sim.Cycle) {
 		}
 		m.pending = nil
 	}
-	// Begin servicing the next request.
-	if m.inService != nil || len(m.queue) == 0 {
+	// Begin servicing the next request; an ECC-retry window delays entry
+	// into service (checked here as well as in NextEvent so the naive
+	// path, which ticks every cycle, makes the identical decision).
+	if m.inService != nil || len(m.queue) == 0 || now < m.busyUntil {
 		return
 	}
 	p := m.queue[0]
@@ -243,9 +284,14 @@ func (m *Module) Tick(now sim.Cycle) {
 	m.queue = m.queue[:len(m.queue)-1]
 	m.queueWords -= p.Words
 
+	svc := m.service
+	if now < m.degradedUntil {
+		svc += m.degradePenalty
+		m.DegradedServes++
+	}
 	m.inService = p
-	m.nextFreeAt = now + m.service
-	m.BusyCycles += int64(m.service)
+	m.nextFreeAt = now + svc
+	m.BusyCycles += int64(svc)
 	m.Served++
 	if m.OnServe != nil {
 		m.OnServe(now, p)

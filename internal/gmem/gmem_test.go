@@ -340,3 +340,69 @@ func TestConditionalSyncFailureLeavesMemory(t *testing.T) {
 		t.Fatalf("failed sync modified memory: %d", r.g.LoadInt(addr))
 	}
 }
+
+// faultTrip measures the cycle at which one direct read against module 0
+// is answered, after applying prep to the module.
+func faultTrip(t *testing.T, prep func(m *Module)) sim.Cycle {
+	t.Helper()
+	r := newRig(t, smallCfg())
+	m := r.g.Module(0)
+	if prep != nil {
+		prep(m)
+	}
+	src := 3
+	p := &network.Packet{Dst: 0, Src: src, Words: 1, Kind: network.Read, Addr: 0, Tag: 1}
+	if !m.Offer(p) {
+		t.Fatal("module refused request")
+	}
+	at, err := r.eng.RunUntil(func() bool { return len(r.got[src]) == 1 }, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return at
+}
+
+func TestFaultBusyWindowDelaysService(t *testing.T) {
+	base := faultTrip(t, nil)
+	got := faultTrip(t, func(m *Module) { m.FaultBusy(0, 10) })
+	if got != base+10 {
+		t.Fatalf("busy-windowed reply at %d, want base %d + 10", got, base)
+	}
+	// The window never shrinks: a shorter overlapping window is absorbed.
+	got = faultTrip(t, func(m *Module) { m.FaultBusy(0, 10); m.FaultBusy(0, 4) })
+	if got != base+10 {
+		t.Fatalf("overlapping busy windows reply at %d, want base %d + 10", got, base)
+	}
+}
+
+func TestFaultDegradeServesAtPenalty(t *testing.T) {
+	base := faultTrip(t, nil)
+	var mod *Module
+	got := faultTrip(t, func(m *Module) { mod = m; m.FaultDegrade(0, 100, 3) })
+	if got != base+3 {
+		t.Fatalf("degraded reply at %d, want base %d + 3", got, base)
+	}
+	if mod.DegradedServes != 1 || mod.DegradeFaults != 1 {
+		t.Fatalf("DegradedServes = %d, DegradeFaults = %d, want 1, 1", mod.DegradedServes, mod.DegradeFaults)
+	}
+	// Outside the window the module serves at full speed again.
+	got = faultTrip(t, func(m *Module) { mod = m; m.FaultDegrade(0, 0, 3) })
+	if got != base || mod.DegradedServes != 0 {
+		t.Fatalf("post-window reply at %d (DegradedServes %d), want base %d at full speed", got, mod.DegradedServes, base)
+	}
+}
+
+func TestFaultBusyModuleStaysFastForwardable(t *testing.T) {
+	// A busy window on a queued module must be reported to the engine so
+	// the wake-cached path fast-forwards to the window's end rather than
+	// polling (or worse, parking) — NextEvent returns busyUntil exactly.
+	r := newRig(t, smallCfg())
+	m := r.g.Module(0)
+	m.FaultBusy(0, 50)
+	if !m.Offer(&network.Packet{Dst: 0, Src: 1, Words: 1, Kind: network.Read, Addr: 0, Tag: 1}) {
+		t.Fatal("module refused request")
+	}
+	if ne := m.NextEvent(0); ne != 50 {
+		t.Fatalf("NextEvent = %d with queued request under busy window, want 50", ne)
+	}
+}

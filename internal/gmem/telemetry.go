@@ -10,5 +10,8 @@ func (m *Module) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/reads", &m.Reads)
 	reg.Counter(prefix+"/writes", &m.Writes)
 	reg.Counter(prefix+"/busy_cycles", &m.BusyCycles)
+	reg.Counter(prefix+"/busy_faults", &m.BusyFaults)
+	reg.Counter(prefix+"/degrade_faults", &m.DegradeFaults)
+	reg.Counter(prefix+"/degraded_serves", &m.DegradedServes)
 	reg.Gauge(prefix+"/queue_len", func() int64 { return int64(m.QueueLen()) })
 }

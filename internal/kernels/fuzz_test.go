@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -121,6 +122,15 @@ func replayFuzz(t *testing.T, m *core.Machine, sched []fuzzStep) (kernel, regist
 				t.Fatalf("step %d IP: %v", si, err)
 			}
 		}
+		if m.FaultInj != nil {
+			// Under fault injection a step can end with recovery still in
+			// flight — a check-stopped CE awaiting repair, a surrendered
+			// program awaiting redispatch. Drain it before the next step:
+			// the runtime's dispatchers require idle CEs.
+			if _, err := m.RunUntilIdle(10_000_000); err != nil {
+				t.Fatalf("step %d fault-recovery drain: %v", si, err)
+			}
+		}
 	}
 	s.Final()
 	var buf bytes.Buffer
@@ -128,6 +138,63 @@ func replayFuzz(t *testing.T, m *core.Machine, sched []fuzzStep) (kernel, regist
 		t.Fatal(err)
 	}
 	return fingerprint(m), m.Registry().Fingerprint(), s.Fingerprint(), buf.Bytes()
+}
+
+// faultMachineAt is machineAt with the fault subsystem enabled: a dense
+// deterministic schedule of network stalls and drops, memory busy and
+// degrade windows, and CE check-stops, plus the recovery knobs (request
+// timeouts, gang rescheduling) the faults exercise.
+func faultMachineAt(clusters int, mode sim.EngineMode) *core.Machine {
+	cfg := core.ConfigClusters(clusters)
+	cfg.Global.Words = 1 << 20
+	cfg.EngineMode = mode
+	cfg.Fault = fault.DefaultConfig(fuzzSeed + uint64(clusters))
+	cfg.Fault.MeanInterval = 300
+	return core.MustNew(cfg)
+}
+
+// TestFuzzScheduleFaultEngineEquivalence is the central correctness claim
+// of the fault subsystem: with a fixed fault seed, the same stimulus
+// schedule under active fault injection leaves all three engine paths in
+// bit-identical architected states — fingerprints, metrics registry,
+// sampler and exported trace bytes — at every cluster scale. The fault
+// schedule itself (the injector's counters) is part of the compared
+// registry, so a single fault landing on a different cycle in any mode
+// fails the test.
+func TestFuzzScheduleFaultEngineEquivalence(t *testing.T) {
+	for _, clusters := range []int{1, 2, 4} {
+		clusters := clusters
+		t.Run(fmt.Sprintf("%dcluster", clusters), func(t *testing.T) {
+			steps := 12
+			if clusters == 4 {
+				if testing.Short() {
+					t.Skip("4-cluster fault fuzz replay; skipped with -short")
+				}
+				steps = 8
+			}
+			sched := fuzzSchedule(sim.NewRand(fuzzSeed+uint64(clusters)), clusters, steps)
+
+			naive := faultMachineAt(clusters, sim.ModeNaive)
+			kn, rn, sn, tn := replayFuzz(t, naive, sched)
+			if naive.FaultInj.Injected == 0 {
+				t.Fatal("fault schedule injected nothing: the test exercises no recovery path")
+			}
+			for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+				fast := faultMachineAt(clusters, mode)
+				kf, rf, sf, tf := replayFuzz(t, fast, sched)
+				what := fmt.Sprintf("fault fuzz %dcl [%v]", clusters, mode)
+				diffFingerprints(t, what+" kernel", kf, kn)
+				diffFingerprints(t, what+" registry", rf, rn)
+				diffFingerprints(t, what+" sampler", sf, sn)
+				if !bytes.Equal(tf, tn) {
+					t.Fatalf("%s emitted different trace bytes than naive (%d vs %d)", what, len(tf), len(tn))
+				}
+				if fast.Eng.Now() != naive.Eng.Now() {
+					t.Fatalf("%s final time %d != naive %d", what, fast.Eng.Now(), naive.Eng.Now())
+				}
+			}
+		})
+	}
 }
 
 // TestFuzzScheduleEngineEquivalence: at 1-, 2- and 4-cluster scale, the

@@ -175,10 +175,12 @@ type Network struct {
 	OnDeliver func(now sim.Cycle, port int, p *Packet)
 
 	// Counters.
-	Injected  int64
-	Delivered int64
-	WordsIn   int64
-	Rejected  int64 // injection attempts refused by a full entry queue
+	Injected    int64
+	Delivered   int64
+	WordsIn     int64
+	Rejected    int64 // injection attempts refused by a full entry queue
+	Dropped     int64 // packets removed by injected drop faults
+	FaultStalls int64 // stall-fault windows applied to ports and links
 }
 
 // New builds an omega network with the given number of ports. ports must
@@ -432,11 +434,12 @@ func (n *Network) Tick(now sim.Cycle) {
 }
 
 // InFlight reports the number of packets currently buffered anywhere in
-// the network. Accepted injections and deliveries are the only ways a
-// packet enters or leaves, so the counter difference is exact; keeping
-// this O(1) matters because idle predicates poll it every cycle.
+// the network. Accepted injections, deliveries, and drop faults are the
+// only ways a packet enters or leaves, so the counter arithmetic is
+// exact; keeping this O(1) matters because idle predicates poll it every
+// cycle.
 func (n *Network) InFlight() int {
-	return int(n.Injected - n.Delivered)
+	return int(n.Injected - n.Delivered - n.Dropped)
 }
 
 // NextEvent implements sim.IdleComponent: a drained network has nothing
@@ -444,7 +447,7 @@ func (n *Network) InFlight() int {
 // every cycle. New injections arrive via Offer, which is external
 // stimulus, so an empty network reports Never.
 func (n *Network) NextEvent(now sim.Cycle) sim.Cycle {
-	if n.Injected > n.Delivered {
+	if n.InFlight() > 0 {
 		return now
 	}
 	return sim.Never

@@ -36,6 +36,8 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/delivered", &n.Delivered)
 	reg.Counter(prefix+"/words_in", &n.WordsIn)
 	reg.Counter(prefix+"/rejected", &n.Rejected)
+	reg.Counter(prefix+"/dropped", &n.Dropped)
+	reg.Counter(prefix+"/fault_stalls", &n.FaultStalls)
 	reg.Gauge(prefix+"/in_flight", func() int64 { return int64(n.InFlight()) })
 	reg.Gauge(prefix+"/entry_pkts", func() int64 { return int64(n.EntryPackets()) })
 	if n.ideal {

@@ -10,7 +10,10 @@ import (
 // machine rates: the calibrated model reproduces Table 3's row and the
 // hand-optimization mechanisms predict Table 4.
 func Example() {
-	suite := perfect.MustSuite()
+	suite, err := perfect.Suite()
+	if err != nil {
+		panic(err)
+	}
 	trfd := perfect.ByName(suite, "TRFD")
 	r := perfect.DefaultRates()
 	auto, _ := trfd.Time(perfect.Auto, r)

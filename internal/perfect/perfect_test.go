@@ -237,8 +237,12 @@ func TestByNameMissing(t *testing.T) {
 	}
 }
 
-func TestMustSuite(t *testing.T) {
-	if len(MustSuite()) != 13 {
-		t.Fatal("MustSuite wrong size")
+func TestSuite(t *testing.T) {
+	s, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 13 {
+		t.Fatal("Suite wrong size")
 	}
 }

@@ -250,14 +250,11 @@ func NewSuite(r Rates) ([]*Profile, error) {
 	return suite, nil
 }
 
-// MustSuite is NewSuite with the default rates, panicking on calibration
-// failure (which would indicate an inconsistent structural change).
-func MustSuite() []*Profile {
-	s, err := NewSuite(DefaultRates())
-	if err != nil {
-		panic(err)
-	}
-	return s
+// Suite is NewSuite with the default rates. Calibration failure (which
+// would indicate an inconsistent structural change) is returned, not
+// panicked, so embedding tools can surface it as a diagnosable error.
+func Suite() ([]*Profile, error) {
+	return NewSuite(DefaultRates())
 }
 
 // ByName returns the profile with the given name, or nil.

@@ -35,10 +35,34 @@ const DefaultPageWords = 512
 // page boundary.
 const DefaultPageCrossCycles = 10
 
+// SpinBound is the consecutive-cycle bound on a consumer spin-wait
+// against an empty full/empty bit. A legitimate stall — a reply held up
+// by network and memory conflicts — resolves within thousands of cycles;
+// a spin past the bound (about 0.18 s of simulated time) means the data
+// can never arrive and the PFU reports it as an unrecoverable fault
+// instead of spinning silently forever.
+const SpinBound = 1 << 20
+
 // slot is one prefetch-buffer word with its full/empty bit.
 type slot struct {
 	full  bool
 	value uint64
+}
+
+// outReq is one outstanding request tracked for timeout/reissue.
+type outReq struct {
+	seq     int
+	addr    uint64
+	retries int
+	retryAt sim.Cycle
+}
+
+// lostReq records the first request whose reissues were exhausted, for
+// the FaultReason diagnosis.
+type lostReq struct {
+	seq     int
+	addr    uint64
+	retries int
 }
 
 // PFU is one prefetch unit. It is a sim.Component (it issues requests
@@ -66,6 +90,26 @@ type PFU struct {
 
 	buf [BufferWords]slot
 
+	// Request-layer recovery (enabled by SetTimeout; all dormant when
+	// timeout is zero, so the no-fault machine is bit-identical to one
+	// built before this machinery existed). outq is the FIFO of
+	// outstanding requests; only the head — the oldest request, the one
+	// the in-order consumer needs first — is ever reissued. got marks
+	// buffer slots whose reply arrived for the slot's current occupant:
+	// unlike the full bit it survives consumption, so a late duplicate
+	// reply (the original raced its own retry) is recognized and
+	// swallowed rather than corrupting the next wrap's slot.
+	timeout    sim.Cycle
+	maxRetries int
+	outq       []outReq
+	got        [BufferWords]bool
+	lost       *lostReq
+
+	// Spin-wait bookkeeping for Consume on an empty full/empty bit.
+	spinSeq   int
+	spinRun   int64
+	spinStuck bool
+
 	// routeFn maps a word address to its memory-module forward port.
 	routeFn func(addr uint64) int
 
@@ -82,10 +126,14 @@ type PFU struct {
 	OnArrive func(now sim.Cycle, slot int)
 
 	// Counters.
-	Prefetches    int64
-	Issued        int64
-	PageCrossings int64
-	StallCycles   int64 // cycles the PFU wanted to issue but the network refused
+	Prefetches       int64
+	Issued           int64
+	PageCrossings    int64
+	StallCycles      int64 // cycles the PFU wanted to issue but the network refused
+	Retries          int64 // requests reissued after a timeout
+	RetriesExhausted int64 // requests abandoned with retries exhausted
+	DuplicateReplies int64 // late replies swallowed after a successful retry
+	SpinWaits        int64 // consumer spin cycles on an empty full/empty bit
 }
 
 // New returns a PFU issuing into fwd at the given shared port.
@@ -98,7 +146,23 @@ func New(fwd *network.Network, port, pageWords int, pageCost sim.Cycle) *PFU {
 	if pageCost < 0 {
 		pageCost = DefaultPageCrossCycles
 	}
-	return &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost}
+	return &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost, spinSeq: -1}
+}
+
+// SetTimeout enables request-layer recovery: a request whose reply has
+// not arrived after deadline cycles is reissued, with exponential backoff
+// (deadline<<1, <<2, ... capped at <<6) and at most maxRetries reissues
+// before the request is abandoned and reported via FaultReason. A zero
+// deadline disables the machinery entirely.
+func (u *PFU) SetTimeout(deadline sim.Cycle, maxRetries int) {
+	if deadline < 0 {
+		deadline = 0
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	u.timeout = deadline
+	u.maxRetries = maxRetries
 }
 
 // AttachWaker implements sim.WakeSink: the engine hands the PFU its own
@@ -154,6 +218,14 @@ func (u *PFU) Fire(addr uint64) {
 	u.arrived = 0
 	u.consumed = 0
 	u.resumeAt = 0
+	u.outq = u.outq[:0]
+	for i := range u.got {
+		u.got[i] = false
+	}
+	u.lost = nil
+	u.spinSeq = -1
+	u.spinRun = 0
+	u.spinStuck = false
 	if u.mask != nil {
 		// Pre-fill the masked-off slots so the consumer's in-order view
 		// sees them as (zero) data that never traveled the network.
@@ -186,7 +258,35 @@ func (u *PFU) Length() int { return u.length }
 // its PFU) frees buffer space by consuming. A page-cross suspension is a
 // pure timer, so its expiry is reported for fast-forwarding. The
 // issue-but-refused state returns now because StallCycles accrues there.
+//
+// With timeouts enabled the head retry deadline is folded in, so a PFU
+// waiting only on a lost reply fast-forwards to the reissue instead of
+// parking forever (and is never dormant while requests are outstanding —
+// essential because the reply that would wake it may have been dropped).
+// A retry deadline only moves later (backoff) or disappears when the
+// head's reply arrives, which requires a reverse-network tick in that
+// same cycle, so the engine's per-executed-cycle re-query always observes
+// the successor entry in time; the fast-forward contract holds.
 func (u *PFU) NextEvent(now sim.Cycle) sim.Cycle {
+	next := u.issueNextEvent(now)
+	if u.timeout > 0 {
+		u.pruneOutq()
+		if len(u.outq) > 0 {
+			t := u.outq[0].retryAt
+			if t < now {
+				t = now
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+	return next
+}
+
+// issueNextEvent is the issue-side quiescence answer (the pre-recovery
+// NextEvent).
+func (u *PFU) issueNextEvent(now sim.Cycle) sim.Cycle {
 	if !u.active || u.issued >= u.length {
 		return sim.Never
 	}
@@ -199,10 +299,72 @@ func (u *PFU) NextEvent(now sim.Cycle) sim.Cycle {
 	return now
 }
 
+// pruneOutq pops outstanding-queue heads whose reply has arrived. It is
+// idempotent and has no architected effect (arrival facts are stable), so
+// both NextEvent and Tick may call it at will.
+func (u *PFU) pruneOutq() {
+	for len(u.outq) > 0 && u.got[u.outq[0].seq%BufferWords] {
+		u.outq = u.outq[1:]
+	}
+}
+
+// tickRetry runs the recovery side of a tick: reissue the oldest
+// outstanding request once its deadline has passed, or abandon it when
+// its retries are exhausted. It reports whether the single per-cycle
+// injection slot was used (a reissue has priority over a new issue; an
+// abandonment is bookkeeping only and leaves the slot free). Only the
+// FIFO head is ever considered: issue deadlines are non-decreasing, and
+// the in-order consumer cannot proceed past the oldest missing word
+// anyway.
+func (u *PFU) tickRetry(now sim.Cycle) bool {
+	if u.timeout == 0 {
+		return false
+	}
+	u.pruneOutq()
+	if len(u.outq) == 0 || now < u.outq[0].retryAt {
+		return false
+	}
+	h := &u.outq[0]
+	if h.retries >= u.maxRetries {
+		u.RetriesExhausted++
+		if u.lost == nil {
+			u.lost = &lostReq{seq: h.seq, addr: h.addr, retries: h.retries}
+		}
+		u.outq = u.outq[1:]
+		return false
+	}
+	p := &network.Packet{
+		Dst:   u.route(h.addr),
+		Src:   u.port,
+		Words: 1,
+		Kind:  network.Read,
+		Addr:  h.addr,
+		Tag:   uint64(h.seq % BufferWords),
+	}
+	if !u.fwd.Offer(now, u.port, p) {
+		u.StallCycles++
+		return true
+	}
+	// No OnIssue for a reissue: the perfmon probe pairs issues with
+	// arrivals per slot, and a retried request still produces exactly one
+	// arrival.
+	u.Retries++
+	h.retries++
+	shift := uint(h.retries)
+	if shift > 6 {
+		shift = 6
+	}
+	h.retryAt = now + u.timeout<<shift
+	return true
+}
+
 // Tick issues the next request if the PFU is active, the buffer has a
 // free slot, the page-crossing suspension (if any) has elapsed, and the
 // forward network accepts the packet. Issue rate is one request per cycle.
 func (u *PFU) Tick(now sim.Cycle) {
+	if u.tickRetry(now) {
+		return // the injection slot went to a reissue this cycle
+	}
 	if !u.active || u.issued >= u.length {
 		return
 	}
@@ -244,6 +406,10 @@ func (u *PFU) Tick(now sim.Cycle) {
 	if u.OnIssue != nil {
 		u.OnIssue(now, u.issued, u.nextAddr)
 	}
+	if u.timeout > 0 {
+		u.got[u.issued%BufferWords] = false
+		u.outq = append(u.outq, outReq{seq: u.issued, addr: u.nextAddr, retryAt: now + u.timeout})
+	}
 	u.Issued++
 	u.issued++
 	prev := u.nextAddr
@@ -279,8 +445,18 @@ func (u *PFU) Deliver(now sim.Cycle, p *network.Packet) bool {
 	if seqSlot < 0 || seqSlot >= BufferWords {
 		return false
 	}
+	if u.timeout > 0 && u.got[seqSlot] {
+		// The slot's current occupant already has its data: this is the
+		// loser of a reply/retry race. Swallow it — returning false would
+		// leave the reverse network retrying the delivery forever.
+		u.DuplicateReplies++
+		return true
+	}
 	if u.buf[seqSlot].full {
 		return false // slot still unconsumed: stale or duplicate
+	}
+	if u.timeout > 0 {
+		u.got[seqSlot] = true
 	}
 	u.buf[seqSlot].value = p.Value
 	u.buf[seqSlot].full = true
@@ -304,18 +480,53 @@ func (u *PFU) Ready() bool {
 
 // Consume removes and returns the next word in request order. The CE both
 // accesses the buffer without waiting for the whole prefetch and receives
-// the data in the order requested — the role of the full/empty bits.
-// Consume panics if the word has not arrived; callers gate on Ready.
-func (u *PFU) Consume() uint64 {
+// the data in the order requested — the role of the full/empty bits. A
+// clear full/empty bit is the paper's memory-based synchronization: the
+// consumer spins on the bit, modeled as a failed Consume (ok false) the
+// caller charges as a stall cycle. A spin exceeding SpinBound on the same
+// word is recorded as an unrecoverable fault (see FaultReason) — the
+// diagnosis for data that can never arrive — instead of panicking or
+// spinning silently.
+func (u *PFU) Consume() (uint64, bool) {
+	if u.length == 0 || u.consumed >= u.length {
+		return 0, false
+	}
 	s := &u.buf[u.consumed%BufferWords]
 	if !s.full {
-		panic("prefetch: Consume before data arrived (full/empty bit clear)")
+		u.SpinWaits++
+		if u.spinSeq == u.consumed {
+			u.spinRun++
+			if u.spinRun > SpinBound {
+				u.spinStuck = true
+			}
+		} else {
+			u.spinSeq = u.consumed
+			u.spinRun = 1
+		}
+		return 0, false
 	}
+	u.spinSeq = -1
+	u.spinRun = 0
 	s.full = false
 	v := s.value
 	u.consumed++
 	u.wake() // frees a buffer slot: a full-buffer PFU may issue again
-	return v
+	return v, true
+}
+
+// FaultReason implements sim.FaultReporter: non-empty once the PFU has
+// abandoned a request (retries exhausted) or a consumer spin-wait has
+// exceeded SpinBound, naming the pending request either way.
+func (u *PFU) FaultReason() string {
+	if u.lost != nil {
+		return fmt.Sprintf("prefetch word %d (addr %#x) unanswered after %d reissues",
+			u.lost.seq, u.lost.addr, u.lost.retries)
+	}
+	if u.spinStuck {
+		return fmt.Sprintf("consumer spun past %d cycles on empty slot %d (word %d of %d)",
+			int64(SpinBound), u.spinSeq%BufferWords, u.spinSeq, u.length)
+	}
+	return ""
 }
 
 // Consumed reports how many words the CE has taken from this prefetch.

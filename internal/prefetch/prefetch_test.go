@@ -1,6 +1,8 @@
 package prefetch
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/gmem"
@@ -64,7 +66,8 @@ func TestPrefetchDeliversInRequestOrder(t *testing.T) {
 	var got []uint64
 	if _, err := r.eng.RunUntil(func() bool {
 		for r.u.Ready() {
-			got = append(got, r.u.Consume())
+			v, _ := r.u.Consume()
+			got = append(got, v)
 		}
 		return r.u.Complete()
 	}, 5000); err != nil {
@@ -96,7 +99,8 @@ func TestStridedPrefetch(t *testing.T) {
 	var got []uint64
 	if _, err := r.eng.RunUntil(func() bool {
 		for r.u.Ready() {
-			got = append(got, r.u.Consume())
+			v, _ := r.u.Consume()
+			got = append(got, v)
 		}
 		return r.u.Complete()
 	}, 5000); err != nil {
@@ -222,21 +226,31 @@ func TestFireInvalidatesBuffer(t *testing.T) {
 	if _, err := r.eng.RunUntil(func() bool { return r.u.Ready() }, 100); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.u.Consume(); got != 222 {
+	if got, _ := r.u.Consume(); got != 222 {
 		t.Fatalf("consumed %d after re-fire, want 222", got)
 	}
 }
 
-func TestConsumeBeforeArrivalPanics(t *testing.T) {
+func TestConsumeBeforeArrivalSpinWaits(t *testing.T) {
+	// A Consume against a clear full/empty bit is the paper's memory-based
+	// synchronization: the consumer spins (ok false, SpinWaits accrues)
+	// instead of crashing, and resumes as soon as the datum lands.
 	r := newRig(t, 0, -1)
+	r.g.StoreWord(0, 77)
 	r.u.Arm(4, 1)
 	r.u.Fire(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Consume with empty full/empty bit did not panic")
-		}
-	}()
-	r.u.Consume()
+	if v, ok := r.u.Consume(); ok {
+		t.Fatalf("Consume before arrival returned %d, ok=true", v)
+	}
+	if r.u.SpinWaits != 1 {
+		t.Fatalf("SpinWaits = %d after one failed Consume, want 1", r.u.SpinWaits)
+	}
+	if _, err := r.eng.RunUntil(func() bool { return r.u.Ready() }, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.u.Consume(); !ok || v != 77 {
+		t.Fatalf("Consume after arrival = %d,%v, want 77,true", v, ok)
+	}
 }
 
 func TestArmValidation(t *testing.T) {
@@ -288,7 +302,8 @@ func TestLongPrefetchBufferBound(t *testing.T) {
 	var got []uint64
 	if _, err := r.eng.RunUntil(func() bool {
 		for r.u.Ready() {
-			got = append(got, r.u.Consume())
+			v, _ := r.u.Consume()
+			got = append(got, v)
 		}
 		return r.u.Complete()
 	}, 20000); err != nil {
@@ -319,7 +334,8 @@ func TestMaskedPrefetch(t *testing.T) {
 	var got []uint64
 	if _, err := r.eng.RunUntil(func() bool {
 		for r.u.Ready() {
-			got = append(got, r.u.Consume())
+			v, _ := r.u.Consume()
+			got = append(got, v)
 		}
 		return r.u.Complete()
 	}, 5000); err != nil {
@@ -369,5 +385,142 @@ func TestAllMaskedPrefetchCompletes(t *testing.T) {
 	}
 	if n != 8 || r.u.Issued != 0 {
 		t.Fatalf("consumed %d (want 8), issued %d (want 0)", n, r.u.Issued)
+	}
+}
+
+// dropSeq0 removes the request injected at cycle 0 from the forward
+// network. After one executed cycle the packet sits in stage-0 switch 5
+// input 0 (port 5's shuffle wiring: 5*8 = 40 -> switch 5, input 0).
+func dropSeq0(t *testing.T, r *rig) *network.Packet {
+	t.Helper()
+	r.eng.Run(1)
+	pk := r.fwd.DropSwitchHead(0, 5, 0, nil)
+	if pk == nil {
+		t.Fatal("no packet to drop in stage-0 switch 5")
+	}
+	return pk
+}
+
+func TestRetryRecoversDroppedRequest(t *testing.T) {
+	r := newRig(t, 0, -1)
+	r.u.SetTimeout(40, 4)
+	for i := 0; i < 8; i++ {
+		r.g.StoreWord(uint64(i), uint64(500+i))
+	}
+	r.u.Arm(8, 1)
+	r.u.Fire(0)
+	if pk := dropSeq0(t, r); pk.Tag != 0 {
+		t.Fatalf("dropped tag %d, want 0", pk.Tag)
+	}
+	var got []uint64
+	if _, err := r.eng.RunUntil(func() bool {
+		for r.u.Ready() {
+			v, _ := r.u.Consume()
+			got = append(got, v)
+		}
+		return r.u.Complete()
+	}, 20000); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(500+i) {
+			t.Fatalf("word %d = %d after retry, want %d (order broken)", i, v, 500+i)
+		}
+	}
+	if r.u.Retries != 1 || r.fwd.Dropped != 1 || r.u.RetriesExhausted != 0 {
+		t.Fatalf("Retries=%d Dropped=%d Exhausted=%d, want 1,1,0",
+			r.u.Retries, r.fwd.Dropped, r.u.RetriesExhausted)
+	}
+	if reason := r.u.FaultReason(); reason != "" {
+		t.Fatalf("healthy PFU reports fault %q", reason)
+	}
+}
+
+func TestRetriesExhaustedSurfacesErrDeadline(t *testing.T) {
+	// Every request and reissue is dropped: the PFU must give up after
+	// maxRetries and the run must end in a diagnosable ErrDeadline naming
+	// the component and the pending request — no hang, no panic.
+	r := newRig(t, 0, -1)
+	r.u.SetTimeout(20, 2)
+	r.u.Arm(1, 1)
+	r.u.Fire(0)
+	for i := 0; i < 300; i++ {
+		r.eng.Run(1)
+		r.fwd.DropSwitchHead(0, 5, 0, nil)
+	}
+	if r.u.RetriesExhausted != 1 || r.u.Retries != 2 {
+		t.Fatalf("RetriesExhausted=%d Retries=%d, want 1,2", r.u.RetriesExhausted, r.u.Retries)
+	}
+	_, err := r.eng.RunUntil(func() bool { return r.u.Complete() }, 5000)
+	if !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	for _, want := range []string{"pfu", "unanswered after 2 reissues", "word 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadline error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestDuplicateReplySwallowed(t *testing.T) {
+	// Stall the entry register past the timeout instead of dropping: the
+	// original request survives, so the retry produces a duplicate reply
+	// that must be swallowed, not fed to the next wrap's slot.
+	r := newRig(t, 0, -1)
+	r.u.SetTimeout(30, 4)
+	r.g.StoreWord(0, 999)
+	r.fwd.StallEntry(0, 5, 60)
+	r.u.Arm(1, 1)
+	r.u.Fire(0)
+	var got []uint64
+	if _, err := r.eng.RunUntil(func() bool {
+		for r.u.Ready() {
+			v, _ := r.u.Consume()
+			got = append(got, v)
+		}
+		return r.u.Complete() && r.u.DuplicateReplies > 0
+	}, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 999 {
+		t.Fatalf("consumed %v, want [999]", got)
+	}
+	if r.u.Retries < 1 || r.u.DuplicateReplies < 1 {
+		t.Fatalf("Retries=%d DuplicateReplies=%d, want >=1 each", r.u.Retries, r.u.DuplicateReplies)
+	}
+}
+
+func TestSpinBoundDiagnosis(t *testing.T) {
+	// Without retry machinery a lost request leaves the consumer spinning
+	// on the full/empty bit forever; past SpinBound the PFU reports it.
+	r := newRig(t, 0, -1)
+	r.u.Arm(1, 1)
+	r.u.Fire(0)
+	dropSeq0(t, r)
+	for i := int64(0); i < SpinBound+2; i++ {
+		if _, ok := r.u.Consume(); ok {
+			t.Fatal("Consume succeeded with the request dropped")
+		}
+	}
+	reason := r.u.FaultReason()
+	if !strings.Contains(reason, "spun past") || !strings.Contains(reason, "slot 0") {
+		t.Fatalf("FaultReason = %q, want a bounded-spin diagnosis naming the slot", reason)
+	}
+	if r.u.SpinWaits != SpinBound+2 {
+		t.Fatalf("SpinWaits = %d, want %d", r.u.SpinWaits, SpinBound+2)
+	}
+}
+
+func TestTimeoutDisabledKeepsLegacyBehavior(t *testing.T) {
+	// With SetTimeout unset, a drop leaves the PFU permanently incomplete
+	// (no retries, no outstanding-queue bookkeeping) — the pre-fault
+	// contract, which the no-fault machine must preserve bit for bit.
+	r := newRig(t, 0, -1)
+	r.u.Arm(4, 1)
+	r.u.Fire(0)
+	dropSeq0(t, r)
+	r.eng.Run(5000)
+	if r.u.Retries != 0 || r.u.Complete() {
+		t.Fatalf("Retries=%d Complete=%v without timeouts, want 0,false", r.u.Retries, r.u.Complete())
 	}
 }

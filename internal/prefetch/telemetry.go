@@ -13,5 +13,9 @@ func (u *PFU) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/issued", &u.Issued)
 	reg.Counter(prefix+"/page_crossings", &u.PageCrossings)
 	reg.Counter(prefix+"/stall_cycles", &u.StallCycles)
+	reg.Counter(prefix+"/retries", &u.Retries)
+	reg.Counter(prefix+"/retries_exhausted", &u.RetriesExhausted)
+	reg.Counter(prefix+"/duplicate_replies", &u.DuplicateReplies)
+	reg.Counter(prefix+"/spin_waits", &u.SpinWaits)
 	reg.Gauge(prefix+"/outstanding", func() int64 { return int64(u.Outstanding()) })
 }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDeadlineNamesExactParkedSet forces a missed wake — stimulus arrives
+// without the matching Wake call — and asserts the deadline error lists
+// exactly the parked components, in registration order, so the diagnosis
+// points at the right stimulus entry point.
+func TestDeadlineNamesExactParkedSet(t *testing.T) {
+	e := New()
+	bells := []*doorbell{{}, {}, {}}
+	names := []string{"cluster0/ce0", "cluster0/pfu0", "cluster1/ce0"}
+	for i, d := range bells {
+		e.Register(names[i], d)
+	}
+	e.Run(10) // all three park (NextEvent = Never)
+	// The forced missed wake: stimulate the middle component directly,
+	// bypassing Ring's Wake. The naive engine would tick it next cycle;
+	// the wake-cached engine can never observe it again.
+	bells[1].pending++
+	_, err := e.RunUntil(func() bool { return bells[1].pending == 0 }, 100)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if len(bells[1].ticksAt) != 0 {
+		t.Fatalf("stranded component ticked at %v; the wake was supposed to be missed", bells[1].ticksAt)
+	}
+	// The error must list the actually-parked set — all three components,
+	// in registration order — not a subset and not extras.
+	want := "dormant components awaiting Wake: " + strings.Join(names, ", ")
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("deadline error %q does not list the exact parked set %q", err, want)
+	}
+}
+
+// sickly is a FaultReporter test double: always ticking (never parks),
+// reporting a fault reason once set.
+type sickly struct {
+	reason string
+}
+
+func (s *sickly) Tick(Cycle) {}
+
+func (s *sickly) FaultReason() string { return s.reason }
+
+func TestDeadlineReportsFaultReasons(t *testing.T) {
+	e := New()
+	sick := &sickly{reason: "request for word 0x2a0 unanswered after 4 reissues"}
+	well := &sickly{}
+	e.Register("pfu3", sick)
+	e.Register("pfu4", well)
+	_, err := e.RunUntil(func() bool { return false }, 50)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !strings.Contains(err.Error(), "pfu3: request for word 0x2a0 unanswered after 4 reissues") {
+		t.Fatalf("deadline error %q does not name the faulted component and pending request", err)
+	}
+	if strings.Contains(err.Error(), "pfu4") {
+		t.Fatalf("deadline error %q names the healthy component", err)
+	}
+}
+
+// TestDeadlineFaultAndDormantCompose checks both diagnostics appear when a
+// fault strands the machine with other components parked.
+func TestDeadlineFaultAndDormantCompose(t *testing.T) {
+	e := New()
+	d := &doorbell{}
+	e.Register("bell", d)
+	// A faulted component that also parks: models an exhausted retrier
+	// with nothing left scheduled.
+	sick := &parkedSick{reason: "gave up"}
+	e.Register("unit", sick)
+	_, err := e.RunUntil(func() bool { return false }, 50)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "awaiting Wake") || !strings.Contains(msg, "unit: gave up") {
+		t.Fatalf("deadline error %q missing dormant or fault detail", err)
+	}
+}
+
+type parkedSick struct{ reason string }
+
+func (p *parkedSick) Tick(Cycle) {}
+
+func (p *parkedSick) NextEvent(Cycle) Cycle { return Never }
+
+func (p *parkedSick) FaultReason() string { return p.reason }

@@ -131,6 +131,18 @@ type Probe interface {
 	SampleNow(now Cycle)
 }
 
+// FaultReporter is optionally implemented by components that can enter an
+// unrecoverable fault state (a request whose retries are exhausted, a
+// synchronization spin that exceeded its bound). FaultReason returns ""
+// while the component is healthy and a one-line human-readable diagnosis
+// — naming the pending request — once the component has given up.
+// RunUntil consults it only on the deadline-exceeded path, so reporting a
+// fault never perturbs a run that still completes; it only converts an
+// opaque timeout into a diagnosable error.
+type FaultReporter interface {
+	FaultReason() string
+}
+
 // SkipAware is optionally implemented by components whose per-cycle tick
 // accrues counters even when idle (the CE's IdleCycles). When the engine
 // elides ticks, it calls SkipCycles with the half-open span [from, to) of
@@ -520,13 +532,36 @@ func (e *Engine) RunUntil(done func() bool, max Cycle) (Cycle, error) {
 // non-empty and no other component has an event scheduled, the machine
 // can never make progress again — the classic symptom of a stimulus entry
 // point that forgot to call Wake — so the error names every dormant
-// component to make the missing call diagnosable.
+// component to make the missing call diagnosable. Components reporting an
+// unrecoverable fault (FaultReporter) are appended with their reasons, so
+// a run wedged by an exhausted retry names the component and the pending
+// request instead of timing out silently.
 func (e *Engine) deadlineErr(max Cycle) error {
+	var detail []string
 	if stuck := e.stuckDormant(); len(stuck) > 0 {
-		return fmt.Errorf("%w (budget %d cycles; no event scheduled, dormant components awaiting Wake: %s)",
-			ErrDeadline, max, strings.Join(stuck, ", "))
+		detail = append(detail, "no event scheduled, dormant components awaiting Wake: "+strings.Join(stuck, ", "))
+	}
+	if faulted := e.faulted(); len(faulted) > 0 {
+		detail = append(detail, "faulted: "+strings.Join(faulted, "; "))
+	}
+	if len(detail) > 0 {
+		return fmt.Errorf("%w (budget %d cycles; %s)", ErrDeadline, max, strings.Join(detail, "; "))
 	}
 	return fmt.Errorf("%w (budget %d cycles)", ErrDeadline, max)
+}
+
+// faulted collects "name: reason" for every component reporting an
+// unrecoverable fault, in tick order.
+func (e *Engine) faulted() []string {
+	var out []string
+	for i, c := range e.comps {
+		if fr, ok := c.(FaultReporter); ok {
+			if r := fr.FaultReason(); r != "" {
+				out = append(out, e.names[i]+": "+r)
+			}
+		}
+	}
+	return out
 }
 
 // stuckDormant returns the names of dormant components when they are

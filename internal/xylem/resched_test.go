@@ -1,0 +1,121 @@
+package xylem
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// fakeCE is a GangTarget with a settable idle state and a record of
+// assigned programs.
+type fakeCE struct {
+	idle bool
+	got  []isa.Program
+}
+
+func (f *fakeCE) Idle() bool { return f.idle }
+func (f *fakeCE) SetProgram(p isa.Program) {
+	f.got = append(f.got, p)
+	f.idle = false
+}
+
+func TestRescheduleWaitsLatencyThenDispatchesToIdle(t *testing.T) {
+	eng := sim.New()
+	r := NewRescheduler(25)
+	busy := &fakeCE{idle: false}
+	free := &fakeCE{idle: true}
+	cl := r.AddGroup(busy, free)
+	eng.Register("resched", r)
+
+	prog := isa.NewSeq(isa.NewCompute(1))
+	r.Surrender(eng.Now(), cl, prog)
+	eng.Run(25) // cycles 0..24: latency not yet elapsed
+	if len(free.got) != 0 {
+		t.Fatal("dispatched before the reschedule latency elapsed")
+	}
+	eng.Run(1)
+	if len(free.got) != 1 || free.got[0] != prog {
+		t.Fatalf("free CE got %d programs, want the surrendered one", len(free.got))
+	}
+	if len(busy.got) != 0 {
+		t.Fatal("busy CE was dispatched to")
+	}
+	if r.Redispatched != 1 || r.Pending() != 0 {
+		t.Fatalf("Redispatched=%d Pending=%d, want 1,0", r.Redispatched, r.Pending())
+	}
+}
+
+func TestReschedulePollsUntilATargetFrees(t *testing.T) {
+	eng := sim.New()
+	r := NewRescheduler(0)
+	ce := &fakeCE{idle: false}
+	cl := r.AddGroup(ce)
+	eng.Register("resched", r)
+
+	r.Surrender(eng.Now(), cl, isa.NewSeq(isa.NewCompute(1)))
+	eng.Run(50)
+	if r.Pending() != 1 {
+		t.Fatalf("Pending = %d with no idle target, want 1", r.Pending())
+	}
+	ce.idle = true // e.g. the original CE was repaired
+	eng.Run(1)
+	if r.Pending() != 0 || len(ce.got) != 1 {
+		t.Fatalf("Pending=%d got=%d after target freed, want 0,1", r.Pending(), len(ce.got))
+	}
+}
+
+func TestRescheduleKeepsTasksWithinTheirCluster(t *testing.T) {
+	eng := sim.New()
+	r := NewRescheduler(0)
+	cl0 := r.AddGroup(&fakeCE{idle: false})
+	other := &fakeCE{idle: true}
+	r.AddGroup(other)
+	eng.Register("resched", r)
+
+	r.Surrender(eng.Now(), cl0, isa.NewSeq(isa.NewCompute(1)))
+	eng.Run(20)
+	if len(other.got) != 0 {
+		t.Fatal("task migrated to a different cluster — gang semantics broken")
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", r.Pending())
+	}
+}
+
+func TestRescheduleDispatchesInSurrenderOrder(t *testing.T) {
+	eng := sim.New()
+	r := NewRescheduler(0)
+	ce := &fakeCE{idle: true}
+	cl := r.AddGroup(ce)
+	eng.Register("resched", r)
+
+	p1 := isa.NewSeq(isa.NewCompute(1))
+	p2 := isa.NewSeq(isa.NewCompute(2))
+	r.Surrender(eng.Now(), cl, p1)
+	r.Surrender(eng.Now(), cl, p2)
+	eng.Run(1)
+	if len(ce.got) != 1 || ce.got[0] != p1 {
+		t.Fatalf("first dispatch = %v, want the first surrendered program", ce.got)
+	}
+	ce.idle = true
+	eng.Run(1)
+	if len(ce.got) != 2 || ce.got[1] != p2 {
+		t.Fatalf("second dispatch missing: got %d programs", len(ce.got))
+	}
+}
+
+func TestReschedulerIsDormantWhenEmpty(t *testing.T) {
+	r := NewRescheduler(10)
+	r.AddGroup(&fakeCE{idle: true})
+	if r.NextEvent(0) != sim.Never {
+		t.Fatal("empty rescheduler should report Never")
+	}
+	r.Surrender(7, 0, isa.NewSeq(isa.NewCompute(1)))
+	if got := r.NextEvent(8); got != 17 {
+		t.Fatalf("NextEvent = %d, want readyAt 17", got)
+	}
+	if got := r.NextEvent(30); got != 30 {
+		t.Fatalf("NextEvent past readyAt = %d, want clamp to now", got)
+	}
+}
