@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-fault bench bench-engine bench-telemetry fuzz-equivalence cover ci
+.PHONY: all build test vet race race-fault race-io bench bench-engine bench-telemetry fuzz-equivalence cover ci
 
 all: ci
 
@@ -57,6 +57,11 @@ fuzz-equivalence:
 race-fault:
 	$(GO) test -race ./internal/fault/ ./internal/sim/ ./internal/network/
 
+# Race pass focused on the I/O path (TestIO* across the packages the
+# isa.IO -> CE -> IP -> xylem park/redispatch chain crosses).
+race-io:
+	$(GO) test -race -run IO ./internal/kernels/ ./internal/cluster/ ./internal/xylem/ ./internal/cedarfort/
+
 # Telemetry disabled vs enabled on the engine benchmark workload: "off"
 # must stay within noise of the pre-telemetry engine (the registry is
 # never built); "on" shows the cost of sampling every 2000 cycles.
@@ -74,4 +79,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race race-fault fuzz-equivalence bench-engine
+ci: vet test race race-fault race-io fuzz-equivalence bench-engine

@@ -5,11 +5,15 @@
 //	cedarsim -kernel cg -clusters 2 -n 8192 -iters 5
 //	cedarsim -kernel vl -clusters 1 -n 8192 -noprefetch
 //	cedarsim -kernel tm -clusters 4 -n 4096 -probe
+//	cedarsim -kernel bdna -clusters 4 -iters 3
 //	cedarsim -kernel rk -trace-out trace.json -sample-every 500
 //
-// Kernels: rk (rank-64 update), vl (vector load), tm (tridiagonal
-// matrix-vector multiply), cg (conjugate gradient). Modes apply to rk:
-// nopref, pref, cache (Table 1's three versions).
+// Kernels are looked up in the workload registry by name — rk (rank-64
+// update), vl (vector load), tm (tridiagonal matrix-vector multiply),
+// cg (conjugate gradient), bdna (formatted-I/O molecular dynamics),
+// mg3d (raw-I/O seismic migration) — list any unknown name to see what
+// is registered. Modes apply to rk: nopref, pref, cache (Table 1's
+// three versions).
 //
 // Telemetry: -metrics-out dumps the final metrics registry,
 // -trace-out writes a Chrome trace_event JSON timeline (open it at
@@ -27,20 +31,21 @@ import (
 	_ "net/http/pprof" // /debug/pprof on the -pprof server
 	"os"
 
-	"repro/internal/cedarfort"
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/kernels"
+	_ "repro/internal/kernels" // populates the workload registry
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func main() {
-	kernel := flag.String("kernel", "rk", "kernel: rk, vl, tm, cg")
+	kernel := flag.String("kernel", "rk", "workload name (see the registry listing on an unknown name)")
 	mode := flag.String("mode", "pref", "rk memory mode: nopref, pref, cache")
 	clusters := flag.Int("clusters", 4, "clusters (1..4; 8 CEs each)")
-	n := flag.Int("n", 256, "problem size (matrix order for rk, vector length otherwise)")
-	iters := flag.Int("iters", 5, "CG iterations")
+	n := flag.Int("n", 256, "problem size (matrix order for rk, vector length otherwise; 0 = kernel default)")
+	iters := flag.Int("iters", 5, "iterations / timesteps (cg, bdna, mg3d)")
 	noPrefetch := flag.Bool("noprefetch", false, "disable prefetching (vl, tm, cg)")
 	probe := flag.Bool("probe", true, "attach the performance monitor to CE 0's prefetch unit")
 	metricsOut := flag.String("metrics-out", "", "write the final metrics registry to this file")
@@ -70,8 +75,6 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	usePrefetch := !*noPrefetch
-
 	// Telemetry is opt-in: without these flags the machine never builds
 	// a registry and the run pays nothing.
 	var sampler *telemetry.Sampler
@@ -79,43 +82,33 @@ func main() {
 		sampler = m.NewSampler(sim.Cycle(*sampleEvery))
 	}
 
-	var res kernels.Result
-	switch *kernel {
-	case "rk":
-		var km kernels.Mode
-		switch *mode {
-		case "nopref":
-			km = kernels.GMNoPrefetch
-		case "pref":
-			km = kernels.GMPrefetch
-		case "cache":
-			km = kernels.GMCache
-		default:
-			fail(fmt.Errorf("unknown mode %q", *mode))
-		}
-		in := kernels.NewRank64Input(*n)
-		res, err = kernels.Rank64(m, in, km, *probe)
-	case "vl":
-		res, err = kernels.VectorLoad(m, *n, usePrefetch, *probe)
-	case "tm":
-		res, err = kernels.TriMatVec(m, *n, usePrefetch, *probe)
-	case "cg":
-		rt := cedarfort.New(m, cedarfort.DefaultConfig())
-		if sampler != nil {
-			rt.Phases = sampler
-		}
-		p := kernels.NewCGProblem(*n, 64)
-		var cg kernels.CGResult
-		cg, err = kernels.CG(m, rt, p, *iters, usePrefetch, *probe)
-		if err == nil {
-			fmt.Printf("residual after %d iterations: %.3e\n", cg.Iterations, cg.FinalResidual)
-		}
-		res = cg.Result
+	var km workload.Mode
+	switch *mode {
+	case "nopref":
+		km = workload.GMNoPrefetch
+	case "pref":
+		km = workload.GMPrefetch
+	case "cache":
+		km = workload.GMCache
 	default:
-		fail(fmt.Errorf("unknown kernel %q", *kernel))
+		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+	opts := workload.Options{
+		Mode:       km,
+		Prefetch:   !*noPrefetch,
+		Probe:      *probe,
+		Iterations: *iters,
+		Size:       *n,
+	}
+	if sampler != nil {
+		opts.Phases = sampler
+	}
+	res, err := workload.Run(*kernel, m, opts)
 	if err != nil {
 		fail(err)
+	}
+	for _, note := range res.Notes {
+		fmt.Println(note)
 	}
 	fmt.Println(res)
 	fmt.Printf("simulated time: %.3f ms (%d cycles at 170 ns)\n",
@@ -123,6 +116,11 @@ func main() {
 	fmt.Printf("network: fwd injected=%d delivered=%d; rev injected=%d delivered=%d\n",
 		m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
 	fmt.Print(m.Utilization())
+	if t := ipTable(m); t != nil {
+		if err := t.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 	if m.FaultInj != nil {
 		if err := m.FaultInj.SummaryTable().Render(os.Stdout); err != nil {
 			fail(err)
@@ -158,6 +156,30 @@ func main() {
 		fmt.Printf("trace: wrote %d samples to %s (open at https://ui.perfetto.dev)\n",
 			len(sampler.Samples()), *traceOut)
 	}
+}
+
+// ipTable renders the per-cluster interactive-processor I/O counters,
+// or nil when the run did no I/O.
+func ipTable(m *core.Machine) *report.Table {
+	var total int64
+	for _, clu := range m.Clusters {
+		total += clu.IPs.Requests
+	}
+	if total == 0 {
+		return nil
+	}
+	t := report.NewTable("Cluster I/O (interactive processors)",
+		"ip", "requests", "words", "busy cycles", "avg wait")
+	for i, clu := range m.Clusters {
+		ip := clu.IPs
+		avg := "-"
+		if ip.Completions > 0 {
+			avg = fmt.Sprintf("%.0f", float64(ip.WaitCycles)/float64(ip.Completions))
+		}
+		t.AddRow(fmt.Sprintf("ip%d", i), fmt.Sprint(ip.Requests),
+			fmt.Sprint(ip.WordsMoved), fmt.Sprint(ip.BusyCycles), avg)
+	}
+	return t
 }
 
 func fail(err error) {

@@ -26,7 +26,19 @@ import (
 	"repro/internal/network"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/xylem"
 )
+
+// IOPath is the CE's route to the operating system's I/O service: an
+// isa.IO operation is submitted here, the issuing program parks on the
+// outstanding transfer (the CE reports no next event), and the
+// completion callback wakes the CE with the transfer's completion
+// handle. The concrete path — Xylem's park table in front of the
+// cluster's interactive processor — is wired by the machine assembly so
+// this package needs no cluster dependency.
+type IOPath interface {
+	SubmitIO(now sim.Cycle, words int64, formatted bool, label string, onDone func(xylem.IOCompletion))
+}
 
 // Config holds the CE timing parameters.
 type Config struct {
@@ -107,6 +119,7 @@ type CE struct {
 	pfu   *prefetch.PFU
 	route func(addr uint64) int
 	waker sim.Waker
+	io    IOPath
 
 	prog isa.Program
 	cur  *isa.Op
@@ -134,6 +147,11 @@ type CE struct {
 	stale      []uint64
 	lost       *lostReq
 
+	// I/O state: ioDone flips when the completion callback fires and
+	// ioComp carries the handle the next tick consumes.
+	ioDone bool
+	ioComp xylem.IOCompletion
+
 	// checkStopped marks a CE halted by an injected check-stop. The halt
 	// takes effect at the next instruction boundary (the operation in
 	// flight drains normally, so no network tags are orphaned); a held
@@ -158,6 +176,9 @@ type CE struct {
 	RetriesExhausted int64 // reads abandoned with retries exhausted
 	CheckStops       int64 // check-stop faults applied
 	Surrendered      int64 // programs given up to the rescheduler
+	IORequests       int64 // isa.IO operations issued
+	IOWaitCycles     int64 // cycles parked on outstanding transfers
+	IOWords          int64 // words moved by completed transfers
 	FinishedAt       sim.Cycle
 	everStarted      bool
 }
@@ -183,6 +204,11 @@ func New(cfg Config, id, port, local int, fwd *network.Network, ch *cache.Cache,
 
 // PFU returns the CE's prefetch unit.
 func (c *CE) PFU() *prefetch.PFU { return c.pfu }
+
+// SetIOPath attaches the CE's route to the I/O service. A CE with no
+// path panics on the first isa.IO operation (bare test rigs that never
+// issue I/O need not wire one).
+func (c *CE) SetIOPath(p IOPath) { c.io = p }
 
 // AttachWaker implements sim.WakeSink: the engine hands the CE its own
 // Handle at registration. The CE reports sim.Never only when it has no
@@ -279,6 +305,11 @@ func (c *CE) NextEvent(now sim.Cycle) sim.Cycle {
 			return now // retry (-1) and reply-wait (-2) states stall-count
 		}
 		return c.finishAt
+	case isa.IO:
+		if c.ioDone {
+			return now
+		}
+		return sim.Never // parked: the completion callback wakes the CE
 	default: // isa.Prefetch completes on its next tick
 		return now
 	}
@@ -389,6 +420,8 @@ func (c *CE) Tick(now sim.Cycle) {
 		c.tickScalar(now)
 	case isa.Sync:
 		c.tickSync(now)
+	case isa.IO:
+		c.tickIO(now)
 	case isa.Prefetch:
 		// Completed the cycle after firing.
 		c.complete(now, 0, true)
@@ -417,7 +450,41 @@ func (c *CE) start(op *isa.Op, now sim.Cycle) {
 		c.startScalar(op, now)
 	case isa.Sync:
 		c.startSync(op, now)
+	case isa.IO:
+		c.startIO(op, now)
 	}
+}
+
+// startIO submits the transfer and parks the program: the CE reports no
+// next event until the completion callback wakes it with the handle.
+func (c *CE) startIO(op *isa.Op, now sim.Cycle) {
+	if c.io == nil {
+		panic(fmt.Sprintf("ce %d: isa.IO operation with no I/O path attached", c.ID))
+	}
+	c.ioDone = false
+	c.IORequests++
+	label := op.IOLabel
+	if label == "" {
+		label = fmt.Sprintf("ce%d", c.ID)
+	}
+	c.io.SubmitIO(now, op.IOWords, op.IOFormatted, label, func(comp xylem.IOCompletion) {
+		c.ioComp = comp
+		c.ioDone = true
+		c.wake()
+	})
+}
+
+// tickIO completes a parked I/O operation once its completion handle has
+// arrived, attributing the wait from the handle's cycle stamps. The
+// completion fires in the IP's tick slot (after the CE's), so the CE
+// observes it the following cycle identically in every engine mode.
+func (c *CE) tickIO(now sim.Cycle) {
+	if !c.ioDone {
+		return // parked
+	}
+	c.IOWaitCycles += int64(c.ioComp.Wait())
+	c.IOWords += c.ioComp.Words
+	c.complete(now, c.ioComp.Words, true)
 }
 
 // complete finishes the current op: functional payload, callbacks, stats.

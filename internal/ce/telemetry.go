@@ -17,5 +17,8 @@ func (c *CE) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/retries_exhausted", &c.RetriesExhausted)
 	reg.Counter(prefix+"/check_stops", &c.CheckStops)
 	reg.Counter(prefix+"/surrendered", &c.Surrendered)
+	reg.Counter(prefix+"/io_requests", &c.IORequests)
+	reg.Counter(prefix+"/io_wait_cycles", &c.IOWaitCycles)
+	reg.Counter(prefix+"/io_words", &c.IOWords)
 	reg.Gauge(prefix+"/finished_at", func() int64 { return int64(c.FinishedAt) })
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
+	"repro/internal/xylem"
 )
 
 // Data placement (Section 3.1 of the paper): a variable can be placed in
@@ -94,11 +95,35 @@ func (r *Runtime) MoveSeconds(n int) float64 {
 	return cycles.Seconds()
 }
 
+// IO emits a blocking Fortran I/O statement: a 2-cycle syscall issue
+// followed by an isa.IO operation of n words through the executing
+// cluster's interactive processor. The issuing program parks on the
+// outstanding transfer — the CE reports no next event and is woken by
+// the completion — instead of spinning, so parked CEs cost the
+// quiescence-aware engine paths nothing.
+func (c *Ctx) IO(words int64, formatted bool) {
+	c.IONamed(words, formatted, "")
+}
+
+// IONamed is IO with a diagnostic label: a run that dies on its deadline
+// with the transfer still outstanding names the label in the
+// ErrDeadline report. An empty label falls back to the issuing CE's
+// name.
+func (c *Ctx) IONamed(words int64, formatted bool, label string) {
+	op := isa.NewIORequest(words, formatted)
+	op.IOLabel = label
+	c.Emit(isa.NewCompute(2), op) // syscall issue, then park on the transfer
+}
+
 // IOOp returns an operation performing a synchronous file transfer of n
 // words through the executing cluster's interactive processors: the IP
 // serves requests sequentially, and the issuing CE spins (with backoff)
 // until the transfer completes — Fortran-style blocking I/O. It must be
 // emitted into a Gen-based stream (every runtime loop body qualifies).
+//
+// Deprecated: use Ctx.IO (or IONamed), which parks the issuing program
+// on the outstanding transfer instead of burning CE cycles in a spin
+// loop. IOOp remains for callers that want the legacy spin-poll timing.
 func (c *Ctx) IOOp(words int64, formatted bool) {
 	if c.Cluster == nil || c.Cluster.IPs == nil {
 		panic("cedarfort: IOOp without a cluster I/O path")
@@ -106,7 +131,7 @@ func (c *Ctx) IOOp(words int64, formatted bool) {
 	done := false
 	submit := isa.NewCompute(2) // syscall issue
 	submit.Do = func() {
-		c.Cluster.IPs.Submit(words, formatted, func() { done = true })
+		c.Cluster.IPs.Submit(c.R.M.Eng.Now(), words, formatted, func(xylem.IOCompletion) { done = true })
 	}
 	g := c.G
 	var mkPoll func() *isa.Op

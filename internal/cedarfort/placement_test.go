@@ -3,6 +3,7 @@ package cedarfort
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
@@ -150,5 +151,47 @@ func TestIOOpBlocksAndSerializes(t *testing.T) {
 	per := sim.FromMicroseconds(0.6) * 200
 	if u < 4*per {
 		t.Fatalf("4 raw transfers finished in %d cycles; IP serialization missing (one transfer ~%d)", u, per)
+	}
+}
+
+// TestIOParksAndSerializes: the non-spinning successor to IOOp — Ctx.IO
+// parks the issuing program in the Xylem I/O wait table until the IP's
+// completion handle arrives, with the same blocking semantics:
+// formatted still dominates, concurrent cluster requests still
+// serialize, and every park is attributed exactly once.
+func TestIOParksAndSerializes(t *testing.T) {
+	run := func(formatted bool) (*core.Machine, sim.Cycle) {
+		m := testMachine(1)
+		r := New(m, DefaultConfig())
+		elapsed, err := r.XDOALL(4, Static, func(ctx *Ctx, iter int) {
+			ctx.IONamed(200, formatted, "parker")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, elapsed
+	}
+	mf, f := run(true)
+	mu, u := run(false)
+	if f < 5*u {
+		t.Fatalf("formatted I/O (%d cycles) not much slower than raw (%d)", f, u)
+	}
+	per := sim.FromMicroseconds(0.6) * 200
+	if u < 4*per {
+		t.Fatalf("4 raw transfers finished in %d cycles; IP serialization missing (one transfer ~%d)", u, per)
+	}
+	for _, m := range []*core.Machine{mf, mu} {
+		w := m.IOWait
+		if w.Parks != 4 || w.Completions != 4 || w.Parked() != 0 {
+			t.Fatalf("park table parks=%d completions=%d parked=%d, want 4/4/0",
+				w.Parks, w.Completions, w.Parked())
+		}
+	}
+	// Serialized transfers mean later requests wait in the IP queue, so
+	// summed wait exceeds summed pure service time.
+	ip := mu.Clusters[0].IPs
+	if ip.WaitCycles <= ip.BusyCycles {
+		t.Fatalf("summed wait %d not above summed service %d; queueing not attributed",
+			ip.WaitCycles, ip.BusyCycles)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ce"
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/xylem"
 )
 
 // newCluster builds a bare cluster with CEs that have no network (only
@@ -186,7 +187,7 @@ func TestIPServesSequentially(t *testing.T) {
 	var done []sim.Cycle
 	// Two unformatted transfers of 1000 words each (~0.6 us/word).
 	for i := 0; i < 2; i++ {
-		ip.Submit(1000, false, func() { done = append(done, eng.Now()) })
+		ip.Submit(eng.Now(), 1000, false, func(xylem.IOCompletion) { done = append(done, eng.Now()) })
 	}
 	if ip.Pending() != 2 {
 		t.Fatalf("Pending = %d", ip.Pending())
@@ -213,7 +214,7 @@ func TestIPFormattedIsSlower(t *testing.T) {
 		ip := NewIP(nil)
 		eng.Register("ip", ip)
 		var at sim.Cycle
-		ip.Submit(500, formatted, func() { at = eng.Now() })
+		ip.Submit(eng.Now(), 500, formatted, func(xylem.IOCompletion) { at = eng.Now() })
 		if _, err := eng.RunUntil(func() bool { return at > 0 }, 1000000); err != nil {
 			t.Fatal(err)
 		}
@@ -231,5 +232,5 @@ func TestIPNegativeSizePanics(t *testing.T) {
 			t.Fatal("negative I/O accepted")
 		}
 	}()
-	ip.Submit(-1, false, nil)
+	ip.Submit(0, -1, false, nil)
 }

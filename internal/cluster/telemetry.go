@@ -7,5 +7,10 @@ import "repro/internal/telemetry"
 func (ip *IP) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/requests", &ip.Requests)
 	reg.Counter(prefix+"/busy_cycles", &ip.BusyCycles)
+	reg.Counter(prefix+"/words_moved", &ip.WordsMoved)
+	reg.Counter(prefix+"/completions", &ip.Completions)
+	reg.Counter(prefix+"/wait_cycles", &ip.WaitCycles)
+	reg.Counter(prefix+"/fault_busies", &ip.FaultBusies)
+	reg.Counter(prefix+"/fault_delays", &ip.FaultDelays)
 	reg.Gauge(prefix+"/pending", func() int64 { return int64(ip.Pending()) })
 }

@@ -131,6 +131,10 @@ type Machine struct {
 	FaultInj *fault.Injector
 	Resched  *xylem.Rescheduler
 
+	// IOWait is Xylem's blocked-on-I/O table: every CE's isa.IO
+	// operations park here in front of the issuing cluster's IP.
+	IOWait *xylem.IOWait
+
 	ces []*ce.CE
 
 	// reg is the lazily built metrics registry (see Registry in
@@ -193,7 +197,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg.CE.ReadTimeout = cfg.Fault.ReadTimeout
 		cfg.CE.MaxRetries = cfg.Fault.MaxRetries
 	}
-	m := &Machine{cfg: cfg, Eng: eng, Fwd: fwd, Rev: rev, Global: g}
+	m := &Machine{cfg: cfg, Eng: eng, Fwd: fwd, Rev: rev, Global: g, IOWait: xylem.NewIOWait()}
 	if cfg.Fault.Enabled() {
 		m.Resched = xylem.NewRescheduler(cfg.Fault.RescheduleLatency)
 	}
@@ -219,6 +223,9 @@ func New(cfg Config) (*Machine, error) {
 		cacheCfg := cfg.Cache
 		cacheCfg.CEs = cfg.Cluster.CEs
 		ch := cache.New(cacheCfg)
+		// The cluster's interactive processor is built before its CEs so
+		// each CE's I/O path can park requests in front of it.
+		ip := cluster.NewIP(nil)
 		ces := make([]*ce.CE, cfg.Cluster.CEs)
 		for i := 0; i < cfg.Cluster.CEs; i++ {
 			id := cl*cfg.Cluster.CEs + i
@@ -228,6 +235,7 @@ func New(cfg Config) (*Machine, error) {
 				u.SetTimeout(cfg.Fault.ReadTimeout, cfg.Fault.MaxRetries)
 			}
 			c := ce.New(cfg.CE, id, id, i, fwd, ch, u, route)
+			c.SetIOPath(ceIOPath{w: m.IOWait, ip: ip})
 			if m.Resched != nil {
 				clIdx := cl
 				c.OnSurrender = func(p isa.Program) {
@@ -241,7 +249,7 @@ func New(cfg Config) (*Machine, error) {
 			}))
 		}
 		clu := cluster.New(cfg.Cluster, cl, ch, ces)
-		clu.IPs = cluster.NewIP(nil)
+		clu.IPs = ip
 		m.Clusters = append(m.Clusters, clu)
 		if m.Resched != nil {
 			targets := make([]xylem.GangTarget, len(ces))
@@ -267,7 +275,11 @@ func New(cfg Config) (*Machine, error) {
 		for i, c := range m.ces {
 			stoppable[i] = c
 		}
-		m.FaultInj = fault.NewInjector(cfg.Fault, fwd, rev, mods, stoppable)
+		faultIPs := make([]fault.FaultableIP, len(m.Clusters))
+		for i, clu := range m.Clusters {
+			faultIPs[i] = clu.IPs
+		}
+		m.FaultInj = fault.NewInjector(cfg.Fault, fwd, rev, mods, stoppable, faultIPs)
 	}
 
 	// Tick order: CEs, prefetch units, forward network, memory modules,
@@ -294,12 +306,28 @@ func New(cfg Config) (*Machine, error) {
 	for _, clu := range m.Clusters {
 		m.Eng.Register(fmt.Sprintf("ip%d", clu.ID), clu.IPs)
 	}
+	// The park table never ticks; it is registered so a deadline hit
+	// with programs still blocked on I/O names them in the diagnostics.
+	m.Eng.Register("xylem/io", m.IOWait)
 	m.Eng.Register("fwd", fwd)
 	for mod := 0; mod < g.Modules(); mod++ {
 		m.Eng.Register(fmt.Sprintf("gmod%d", mod), g.Module(mod))
 	}
 	m.Eng.Register("rev", rev)
 	return m, nil
+}
+
+// ceIOPath routes a CE's isa.IO operations into Xylem's park table in
+// front of the issuing cluster's interactive processor. It is the
+// machine-assembly glue satisfying ce.IOPath, so the ce package needs no
+// cluster dependency.
+type ceIOPath struct {
+	w  *xylem.IOWait
+	ip *cluster.IP
+}
+
+func (p ceIOPath) SubmitIO(now sim.Cycle, words int64, formatted bool, label string, onDone func(xylem.IOCompletion)) {
+	p.w.Park(now, p.ip, words, formatted, label, onDone)
 }
 
 // MustNew is New, panicking on configuration errors.

@@ -37,6 +37,9 @@ func (m *Machine) registerAll(reg *telemetry.Registry) {
 			clu.IPs.RegisterMetrics(reg, fmt.Sprintf("cluster%d/ip", cl))
 		}
 	}
+	if m.IOWait != nil {
+		m.IOWait.RegisterMetrics(reg, "xylem/io")
+	}
 	m.Fwd.RegisterMetrics(reg, "net/fwd")
 	m.Rev.RegisterMetrics(reg, "net/rev")
 	for mod := 0; mod < m.Global.Modules(); mod++ {

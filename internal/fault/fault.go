@@ -1,7 +1,8 @@
 // Package fault injects deterministic transient faults into the Cedar
 // model: omega-network switch-port stalls and dropped packets, global
-// memory-module busy and degraded-service (ECC-retry) windows, and CE
-// check-stops. Every fault is drawn from a seeded schedule, so a run with
+// memory-module busy and degraded-service (ECC-retry) windows, CE
+// check-stops, and interactive-processor busy windows and delayed I/O
+// completions. Every fault is drawn from a seeded schedule, so a run with
 // a given seed is exactly reproducible — and, because the injector is a
 // sim.IdleComponent registered ahead of the architected components, the
 // schedule lands on identical cycles in all three engine modes, keeping
@@ -49,6 +50,13 @@ const (
 	// injector repairs it RepairWindow cycles later; a held program is
 	// surrendered for gang rescheduling.
 	CheckStop
+	// IPBusy occupies one cluster's interactive processor with non-I/O
+	// work for IPBusyWindow cycles: queued transfers wait, a transfer
+	// already in flight drains normally.
+	IPBusy
+	// IPDelay inflates the service time of the next transfer an IP
+	// starts by IPDelayPenalty cycles (a slow seek / retried sector).
+	IPDelay
 	numKinds
 )
 
@@ -65,6 +73,10 @@ func (k Kind) String() string {
 		return "mem-degrade"
 	case CheckStop:
 		return "check-stop"
+	case IPBusy:
+		return "ip-busy"
+	case IPDelay:
+		return "ip-delay"
 	}
 	return "unknown"
 }
@@ -85,6 +97,8 @@ type Config struct {
 	EnableMemBusy    bool
 	EnableMemDegrade bool
 	EnableCheckStop  bool
+	EnableIPBusy     bool
+	EnableIPDelay    bool
 
 	// StallWindow is the duration of a network resource stall.
 	StallWindow sim.Cycle
@@ -99,6 +113,11 @@ type Config struct {
 	// RescheduleLatency is the Xylem kernel cost of redispatching a
 	// surrendered cluster task.
 	RescheduleLatency sim.Cycle
+	// IPBusyWindow is the duration of an interactive-processor busy
+	// fault; IPDelayPenalty the extra service time of a delayed
+	// transfer.
+	IPBusyWindow   sim.Cycle
+	IPDelayPenalty sim.Cycle
 	// ReadTimeout and MaxRetries are the request-layer recovery knobs the
 	// builder pushes into every CE and PFU when the subsystem is enabled.
 	ReadTimeout sim.Cycle
@@ -116,10 +135,14 @@ func DefaultConfig(seed uint64) Config {
 		EnableMemBusy:     true,
 		EnableMemDegrade:  true,
 		EnableCheckStop:   true,
+		EnableIPBusy:      true,
+		EnableIPDelay:     true,
 		StallWindow:       20,
 		BusyWindow:        30,
 		DegradeWindow:     200,
 		DegradePenalty:    2,
+		IPBusyWindow:      400,
+		IPDelayPenalty:    120,
 		RepairWindow:      2000,
 		RescheduleLatency: 500,
 		ReadTimeout:       200,
@@ -147,6 +170,12 @@ func (c Config) kinds() []Kind {
 	if c.EnableCheckStop {
 		ks = append(ks, CheckStop)
 	}
+	if c.EnableIPBusy {
+		ks = append(ks, IPBusy)
+	}
+	if c.EnableIPDelay {
+		ks = append(ks, IPDelay)
+	}
 	return ks
 }
 
@@ -163,6 +192,15 @@ type StoppableCE interface {
 	CheckStop()
 	Repair()
 	CheckStopped() bool
+}
+
+// FaultableIP is the slice of the interactive processor the injector
+// drives for I/O-path faults; cluster.IP satisfies it. Both hooks only
+// defer future transfer starts — they never touch a transfer in flight —
+// so they stay behaviorally identical across engine modes.
+type FaultableIP interface {
+	FaultBusy(now, window sim.Cycle)
+	FaultDelayNext(extra sim.Cycle)
 }
 
 // repairTimer schedules the repair of a check-stopped CE.
@@ -184,6 +222,7 @@ type Injector struct {
 	fwd, rev *network.Network
 	mods     []*gmem.Module
 	ces      []StoppableCE
+	ips      []FaultableIP
 
 	next    sim.Cycle
 	repairs []repairTimer
@@ -195,6 +234,8 @@ type Injector struct {
 	MemBusies   int64
 	MemDegrades int64
 	CheckStops  int64
+	IPBusies    int64
+	IPDelays    int64
 	Repairs     int64
 	NoTarget    int64 // scheduled faults with no eligible target (skipped)
 }
@@ -202,7 +243,7 @@ type Injector struct {
 // NewInjector builds an injector over the machine's fault surfaces. It
 // panics if the config is not Enabled or enables no fault kind: the
 // builder must simply not construct an injector for a fault-free run.
-func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces []StoppableCE) *Injector {
+func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces []StoppableCE, ips []FaultableIP) *Injector {
 	if !cfg.Enabled() {
 		panic("fault: NewInjector with a disabled config")
 	}
@@ -218,6 +259,7 @@ func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces
 		rev:   rev,
 		mods:  mods,
 		ces:   ces,
+		ips:   ips,
 	}
 	inj.next = inj.gap()
 	return inj
@@ -285,6 +327,22 @@ func (inj *Injector) inject(now sim.Cycle) {
 		inj.Injected++
 	case CheckStop:
 		inj.injectCheckStop(now)
+	case IPBusy:
+		if len(inj.ips) == 0 {
+			inj.NoTarget++
+			return
+		}
+		inj.ips[inj.rng.Intn(len(inj.ips))].FaultBusy(now, inj.cfg.IPBusyWindow)
+		inj.IPBusies++
+		inj.Injected++
+	case IPDelay:
+		if len(inj.ips) == 0 {
+			inj.NoTarget++
+			return
+		}
+		inj.ips[inj.rng.Intn(len(inj.ips))].FaultDelayNext(inj.cfg.IPDelayPenalty)
+		inj.IPDelays++
+		inj.Injected++
 	}
 }
 
@@ -352,6 +410,8 @@ func (inj *Injector) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/mem_busies", &inj.MemBusies)
 	reg.Counter(prefix+"/mem_degrades", &inj.MemDegrades)
 	reg.Counter(prefix+"/check_stops", &inj.CheckStops)
+	reg.Counter(prefix+"/ip_busies", &inj.IPBusies)
+	reg.Counter(prefix+"/ip_delays", &inj.IPDelays)
 	reg.Counter(prefix+"/repairs", &inj.Repairs)
 	reg.Counter(prefix+"/no_target", &inj.NoTarget)
 }
@@ -364,6 +424,8 @@ func (inj *Injector) SummaryTable() *report.Table {
 	t.AddRow(MemBusy.String(), fmt.Sprint(inj.MemBusies))
 	t.AddRow(MemDegrade.String(), fmt.Sprint(inj.MemDegrades))
 	t.AddRow(CheckStop.String(), fmt.Sprint(inj.CheckStops))
+	t.AddRow(IPBusy.String(), fmt.Sprint(inj.IPBusies))
+	t.AddRow(IPDelay.String(), fmt.Sprint(inj.IPDelays))
 	t.AddRow("repairs", fmt.Sprint(inj.Repairs))
 	t.AddRow("no-target", fmt.Sprint(inj.NoTarget))
 	t.AddNote(fmt.Sprintf("seed %#x, mean interval %d cycles", inj.cfg.Seed, inj.cfg.MeanInterval))

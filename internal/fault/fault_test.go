@@ -35,6 +35,15 @@ func (s *stopCE) Repair() {
 }
 func (s *stopCE) CheckStopped() bool { return s.stopped }
 
+// fakeIP is a FaultableIP recording the injected hooks.
+type fakeIP struct {
+	busies int64
+	delays int64
+}
+
+func (f *fakeIP) FaultBusy(now, window sim.Cycle) { f.busies++ }
+func (f *fakeIP) FaultDelayNext(extra sim.Cycle)  { f.delays++ }
+
 type faultRig struct {
 	eng  *sim.Engine
 	inj  *Injector
@@ -43,6 +52,7 @@ type faultRig struct {
 	g    *gmem.Global
 	mods []*gmem.Module
 	ces  []*stopCE
+	ips  []*fakeIP
 }
 
 func newFaultRig(t *testing.T, cfg Config) *faultRig {
@@ -67,19 +77,25 @@ func newFaultRig(t *testing.T, cfg Config) *faultRig {
 	for _, c := range ces {
 		stoppable = append(stoppable, c)
 	}
-	inj := NewInjector(cfg, fwd, rev, mods, stoppable)
+	ips := []*fakeIP{{}, {}}
+	var faultable []FaultableIP
+	for _, ip := range ips {
+		faultable = append(faultable, ip)
+	}
+	inj := NewInjector(cfg, fwd, rev, mods, stoppable, faultable)
 	eng.Register("fault", inj) // injector first: its tick slot precedes all targets
 	eng.Register("fwd", fwd)
 	for _, m := range mods {
 		eng.Register("mod", m)
 	}
 	eng.Register("rev", rev)
-	return &faultRig{eng: eng, inj: inj, fwd: fwd, rev: rev, g: g, mods: mods, ces: ces}
+	return &faultRig{eng: eng, inj: inj, fwd: fwd, rev: rev, g: g, mods: mods, ces: ces, ips: ips}
 }
 
-func census(inj *Injector) [8]int64 {
-	return [8]int64{inj.Injected, inj.NetStalls, inj.NetDrops, inj.MemBusies,
-		inj.MemDegrades, inj.CheckStops, inj.Repairs, inj.NoTarget}
+func census(inj *Injector) [10]int64 {
+	return [10]int64{inj.Injected, inj.NetStalls, inj.NetDrops, inj.MemBusies,
+		inj.MemDegrades, inj.CheckStops, inj.IPBusies, inj.IPDelays,
+		inj.Repairs, inj.NoTarget}
 }
 
 func TestScheduleIsSeedDeterministic(t *testing.T) {
@@ -108,7 +124,8 @@ func TestAllEnabledKindsEventuallyFire(t *testing.T) {
 	cfg.MeanInterval = 20
 	r := newFaultRig(t, cfg)
 	r.eng.Run(50000)
-	if r.inj.NetStalls == 0 || r.inj.MemBusies == 0 || r.inj.MemDegrades == 0 || r.inj.CheckStops == 0 {
+	if r.inj.NetStalls == 0 || r.inj.MemBusies == 0 || r.inj.MemDegrades == 0 ||
+		r.inj.CheckStops == 0 || r.inj.IPBusies == 0 || r.inj.IPDelays == 0 {
 		t.Fatalf("kinds missing from a long run: %+v", census(r.inj))
 	}
 	// Module-side effects landed.
@@ -124,6 +141,16 @@ func TestAllEnabledKindsEventuallyFire(t *testing.T) {
 	if r.fwd.FaultStalls+r.rev.FaultStalls != r.inj.NetStalls {
 		t.Fatalf("network FaultStalls %d+%d, injector NetStalls %d",
 			r.fwd.FaultStalls, r.rev.FaultStalls, r.inj.NetStalls)
+	}
+	// IP-side effects landed.
+	var ipBusies, ipDelays int64
+	for _, ip := range r.ips {
+		ipBusies += ip.busies
+		ipDelays += ip.delays
+	}
+	if ipBusies != r.inj.IPBusies || ipDelays != r.inj.IPDelays {
+		t.Fatalf("IP counters (%d busy, %d delay) disagree with injector (%d, %d)",
+			ipBusies, ipDelays, r.inj.IPBusies, r.inj.IPDelays)
 	}
 	// Idle networks carry nothing droppable: every drop is a no-target.
 	if r.inj.NetDrops != 0 {
@@ -205,7 +232,7 @@ func TestDisabledConfigPanics(t *testing.T) {
 			t.Fatal("NewInjector with MeanInterval 0 did not panic")
 		}
 	}()
-	NewInjector(DefaultConfig(1), nil, nil, nil, nil)
+	NewInjector(DefaultConfig(1), nil, nil, nil, nil, nil)
 }
 
 func TestSummaryTableRenders(t *testing.T) {

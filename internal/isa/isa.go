@@ -72,6 +72,13 @@ const (
 	// Sync is an indivisible global-memory synchronization instruction
 	// (Test-And-Set / Test-And-Operate), completing with a result.
 	Sync
+	// IO is a blocking Fortran I/O statement: a transfer of IOWords
+	// 64-bit words served by the cluster's interactive processor.
+	// Formatted transfers pay the per-word conversion cost on top of
+	// the raw disk rate (the paper's formatted/unformatted distinction
+	// that dominates BDNA). The issuing program parks on the
+	// outstanding transfer and is redispatched at completion.
+	IO
 )
 
 // String names the kind.
@@ -87,6 +94,8 @@ func (k Kind) String() string {
 		return "scalar"
 	case Sync:
 		return "sync"
+	case IO:
+		return "io"
 	}
 	return "unknown"
 }
@@ -121,6 +130,14 @@ type Op struct {
 	SyncSpec network.SyncSpec
 	SyncAddr uint64
 
+	// IO.
+	IOWords     int64
+	IOFormatted bool
+	// IOLabel names the request in diagnostics (an ErrDeadline hit
+	// while the transfer is outstanding reports it); empty means the
+	// issuing CE names the request.
+	IOLabel string
+
 	// Do, if non-nil, runs when the operation completes: the functional
 	// payload (actual arithmetic on backing slices).
 	Do func()
@@ -137,6 +154,17 @@ func NewCompute(cycles sim.Cycle) *Op {
 		panic("isa: negative compute cycles")
 	}
 	return &Op{Kind: Compute, Cycles: cycles}
+}
+
+// NewIORequest returns a blocking I/O operation moving words 64-bit
+// words through the cluster's interactive processor; formatted selects
+// the Fortran formatted path (per-word conversion on top of the raw
+// transfer rate).
+func NewIORequest(words int64, formatted bool) *Op {
+	if words < 0 {
+		panic(fmt.Sprintf("isa: negative I/O size %d", words))
+	}
+	return &Op{Kind: IO, IOWords: words, IOFormatted: formatted}
 }
 
 // NewVectorLoad returns a vector operation streaming n words from base at

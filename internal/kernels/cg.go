@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // CGProblem is a symmetric positive-definite 5-diagonal system A x = rhs,
@@ -85,13 +86,18 @@ type CGResult struct {
 	X []float64
 }
 
-// CG runs iters iterations of the conjugate-gradient method on m, with
-// all vectors in global memory, compiler-style 32-word prefetches
-// (when usePrefetch), vector segments statically partitioned over the
-// CEs, and multiprocessor barriers between the phases of each iteration.
-// It is the computation behind Table 2's CG row and the Section 4.3
-// scalability study.
-func CG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, iters int, usePrefetch, probe bool) (CGResult, error) {
+// RunCG runs Options.Iterations iterations (default 5) of the
+// conjugate-gradient method on m, with all vectors in global memory,
+// compiler-style 32-word prefetches (when Options.Prefetch), vector
+// segments statically partitioned over the CEs, and multiprocessor
+// barriers between the phases of each iteration. It is the computation
+// behind Table 2's CG row and the Section 4.3 scalability study.
+func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Options) (CGResult, error) {
+	iters := o.Iterations
+	if iters == 0 {
+		iters = 5
+	}
+	usePrefetch, probe := o.Prefetch, o.Probe
 	n := p.N
 	nces := m.NumCEs()
 	if n%(nces*StripLen) != 0 {

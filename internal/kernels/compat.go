@@ -1,0 +1,38 @@
+package kernels
+
+import (
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Thin wrappers preserving the pre-workload.Options positional
+// signatures, so examples/ and older callers keep compiling unchanged.
+
+// Rank64 runs the rank-64 update in the given memory mode.
+//
+// Deprecated: use RunRank64 with workload.Options.
+func Rank64(m *core.Machine, in *Rank64Input, mode Mode, probe bool) (Result, error) {
+	return RunRank64(m, in, workload.Options{Mode: mode, Probe: probe})
+}
+
+// VectorLoad runs the VL kernel on an n-word vector.
+//
+// Deprecated: use RunVectorLoad with workload.Options.
+func VectorLoad(m *core.Machine, n int, usePrefetch, probe bool) (Result, error) {
+	return RunVectorLoad(m, workload.Options{Size: n, Prefetch: usePrefetch, Probe: probe})
+}
+
+// TriMatVec runs the TM kernel on an order-n system.
+//
+// Deprecated: use RunTriMatVec with workload.Options.
+func TriMatVec(m *core.Machine, n int, usePrefetch, probe bool) (Result, error) {
+	return RunTriMatVec(m, workload.Options{Size: n, Prefetch: usePrefetch, Probe: probe})
+}
+
+// CG runs iters conjugate-gradient iterations.
+//
+// Deprecated: use RunCG with workload.Options.
+func CG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, iters int, usePrefetch, probe bool) (CGResult, error) {
+	return RunCG(m, rt, p, workload.Options{Iterations: iters, Prefetch: usePrefetch, Probe: probe})
+}

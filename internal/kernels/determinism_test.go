@@ -43,7 +43,16 @@ func fingerprint(m *core.Machine) string {
 		u := c.PFU()
 		fmt.Fprintf(&b, "pfu%d pf=%d issued=%d cross=%d stall=%d\n",
 			c.ID, u.Prefetches, u.Issued, u.PageCrossings, u.StallCycles)
+		fmt.Fprintf(&b, "ceio%d rq=%d wait=%d words=%d\n",
+			c.ID, c.IORequests, c.IOWaitCycles, c.IOWords)
 	}
+	for i, clu := range m.Clusters {
+		ip := clu.IPs
+		fmt.Fprintf(&b, "ip%d rq=%d busy=%d moved=%d done=%d wait=%d\n",
+			i, ip.Requests, ip.BusyCycles, ip.WordsMoved, ip.Completions, ip.WaitCycles)
+	}
+	fmt.Fprintf(&b, "iowait parks=%d done=%d wait=%d parked=%d\n",
+		m.IOWait.Parks, m.IOWait.Completions, m.IOWait.WaitCycles, m.IOWait.Parked())
 	fmt.Fprintf(&b, "fwd inj=%d del=%d words=%d rej=%d\n", m.Fwd.Injected, m.Fwd.Delivered, m.Fwd.WordsIn, m.Fwd.Rejected)
 	fmt.Fprintf(&b, "rev inj=%d del=%d words=%d rej=%d\n", m.Rev.Injected, m.Rev.Delivered, m.Rev.WordsIn, m.Rev.Rejected)
 	for i := 0; i < m.Global.Modules(); i++ {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/xylem"
 )
 
 // The equivalence suites above replay fixed kernels; this one replays a
@@ -117,7 +118,8 @@ func replayFuzz(t *testing.T, m *core.Machine, sched []fuzzStep) (kernel, regist
 			// completion; the Submit must revive a dormant IP on the
 			// wake-cached path or this RunUntil dies on the deadline.
 			done := false
-			m.Clusters[st.cluster].IPs.Submit(st.words, st.formatted, func() { done = true })
+			m.Clusters[st.cluster].IPs.Submit(m.Eng.Now(), st.words, st.formatted,
+				func(xylem.IOCompletion) { done = true })
 			if _, err := m.Eng.RunUntil(func() bool { return done }, 10_000_000); err != nil {
 				t.Fatalf("step %d IP: %v", si, err)
 			}

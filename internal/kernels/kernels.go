@@ -16,73 +16,30 @@
 package kernels
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
-// Mode selects the memory-system strategy of a kernel, matching the three
-// versions of Table 1.
-type Mode int
+// Mode and Result moved to the workload package with the unified
+// Workload API; the aliases keep every existing caller compiling while
+// the canonical definitions live where drivers find them.
+type (
+	// Mode selects the memory-system strategy of a kernel (Table 1).
+	Mode = workload.Mode
+	// Result reports one kernel execution.
+	Result = workload.Result
+)
 
-// Kernel memory modes.
+// Kernel memory modes (aliases of the workload constants).
 const (
-	// GMNoPrefetch: all vector accesses go to global memory with no
-	// prefetching — throughput is bounded by the two outstanding
-	// requests per CE and the 13-cycle latency.
-	GMNoPrefetch Mode = iota
-	// GMPrefetch: identical access pattern, but every global vector
-	// operand is prefetched.
-	GMPrefetch
-	// GMCache: submatrix blocks are transferred to a cached work array
-	// in each cluster and all inner-loop vector accesses hit the cache.
-	GMCache
+	GMNoPrefetch = workload.GMNoPrefetch
+	GMPrefetch   = workload.GMPrefetch
+	GMCache      = workload.GMCache
 )
-
-// String names the mode as in Table 1.
-func (m Mode) String() string {
-	switch m {
-	case GMNoPrefetch:
-		return "GM/no-pref"
-	case GMPrefetch:
-		return "GM/pref"
-	case GMCache:
-		return "GM/cache"
-	}
-	return "unknown"
-}
-
-// Result reports one kernel execution.
-type Result struct {
-	// Name identifies the kernel and variant.
-	Name string
-	// CEs is the processor count used.
-	CEs int
-	// Cycles is the elapsed simulated time.
-	Cycles sim.Cycle
-	// Flops is the floating-point operation count performed by the CEs.
-	Flops int64
-	// MFLOPS is the paper's rate metric.
-	MFLOPS float64
-	// Check is a kernel-specific numerical checksum for verification.
-	Check float64
-	// Latency and Interarrival are the Table 2 prefetch metrics in
-	// cycles (NaN when the kernel was run without a probe or without
-	// prefetching).
-	Latency      float64
-	Interarrival float64
-}
-
-func (r Result) String() string {
-	s := fmt.Sprintf("%-14s P=%-3d %8d cycles  %7.1f MFLOPS", r.Name, r.CEs, r.Cycles, r.MFLOPS)
-	if !math.IsNaN(r.Latency) {
-		s += fmt.Sprintf("  lat=%5.1f  ia=%4.2f", r.Latency, r.Interarrival)
-	}
-	return s
-}
 
 // finish assembles a Result from a completed run.
 func finish(name string, m *core.Machine, start, end sim.Cycle, check float64, probe *perfmon.PrefetchProbe) Result {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Rank64Input holds the operands of a rank-64 update C += A * B with
@@ -75,10 +76,11 @@ func ReferenceRank64(in *Rank64Input) []float64 {
 // request"). In GMCache mode each CE first transfers the strip's A block
 // into a cached cluster work array.
 //
-// probe, when true, attaches the paper's performance monitor to CE 0's
-// prefetch unit (monitoring all requests of a single processor, as the
-// paper does).
-func Rank64(m *core.Machine, in *Rank64Input, mode Mode, probe bool) (Result, error) {
+// Options.Probe, when true, attaches the paper's performance monitor to
+// CE 0's prefetch unit (monitoring all requests of a single processor,
+// as the paper does); Options.Mode selects the Table 1 variant.
+func RunRank64(m *core.Machine, in *Rank64Input, o workload.Options) (Result, error) {
+	mode, probe := o.Mode, o.Probe
 	n := in.N
 	nces := m.NumCEs()
 	if n < nces {

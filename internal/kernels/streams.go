@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/perfmon"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // VectorLoad runs the VL kernel: every CE streams its contiguous segment
@@ -15,8 +16,16 @@ import (
 // 32-word prefetches inserted before each vector operation when prefetch
 // is enabled. The result vector is y[i] = 2*x[i], verified via Check
 // (the sum of y).
-func VectorLoad(m *core.Machine, n int, usePrefetch, probe bool) (Result, error) {
+//
+// Options used: Size (vector length; default 4 strips per CE), Prefetch,
+// Probe.
+func RunVectorLoad(m *core.Machine, o workload.Options) (Result, error) {
 	nces := m.NumCEs()
+	n := o.Size
+	if n == 0 {
+		n = nces * StripLen * 4
+	}
+	usePrefetch, probe := o.Prefetch, o.Probe
 	if n%(nces*StripLen) != 0 {
 		return Result{}, fmt.Errorf("kernels: VL n=%d not a multiple of %d", n, nces*StripLen)
 	}
@@ -79,8 +88,16 @@ func VectorLoad(m *core.Machine, n int, usePrefetch, probe bool) (Result, error)
 // arithmetic, which reduces the demand on the memory system relative to
 // RK — the property the paper uses to explain TM's milder degradation in
 // Table 2. Five flops per element (three multiplies, two adds).
-func TriMatVec(m *core.Machine, n int, usePrefetch, probe bool) (Result, error) {
+//
+// Options used: Size (system order; default 2 strips per CE), Prefetch,
+// Probe.
+func RunTriMatVec(m *core.Machine, o workload.Options) (Result, error) {
 	nces := m.NumCEs()
+	n := o.Size
+	if n == 0 {
+		n = nces * StripLen * 2
+	}
+	usePrefetch, probe := o.Prefetch, o.Probe
 	if n%(nces*StripLen) != 0 {
 		return Result{}, fmt.Errorf("kernels: TM n=%d not a multiple of %d", n, nces*StripLen)
 	}

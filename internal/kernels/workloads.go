@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/cedarfort"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// init registers every kernel in the workload registry, so any driver
+// importing this package (cmd/cedarsim, the table generators) can run
+// kernels by name. The short names are the paper's kernel mnemonics
+// plus the two Perfect-code I/O workloads.
+func init() {
+	workload.Register(workload.New("rk",
+		"rank-64 matrix update in Table 1's three memory modes (Options.Mode)",
+		func(m *core.Machine, o workload.Options) (workload.Result, error) {
+			n := o.Size
+			if n == 0 {
+				n = 128
+			}
+			return RunRank64(m, NewRank64Input(n), o)
+		}))
+	workload.Register(workload.New("vl",
+		"vector load stream (Table 2 VL)",
+		RunVectorLoad))
+	workload.Register(workload.New("tm",
+		"tridiagonal matrix-vector multiply (Table 2 TM)",
+		RunTriMatVec))
+	workload.Register(workload.New("cg",
+		"conjugate-gradient solver on a 5-diagonal system (Table 2 CG, Section 4.3)",
+		func(m *core.Machine, o workload.Options) (workload.Result, error) {
+			n := o.Size
+			if n == 0 {
+				n = m.NumCEs() * StripLen * 2
+			}
+			w := 64
+			if n <= 2*w {
+				w = 5
+			}
+			rt := cedarfort.New(m, cedarfort.DefaultConfig())
+			if o.Phases != nil {
+				rt.Phases = o.Phases
+			}
+			res, err := RunCG(m, rt, NewCGProblem(n, w), o)
+			if err != nil {
+				return workload.Result{}, err
+			}
+			r := res.Result
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("CG residual after %d iterations: %.3e", res.Iterations, res.FinalResidual))
+			return r, nil
+		}))
+	workload.Register(workload.New("bdna",
+		"BDNA-style molecular dynamics: serial formatted trajectory writes between compute steps",
+		RunBDNA))
+	workload.Register(workload.New("mg3d",
+		"MG3D-style seismic migration: per-cluster parallel raw trace reads before each compute step",
+		RunMG3D))
+}

@@ -202,7 +202,13 @@ type Profile struct {
 	Barriers         float64
 	IOFormattedWords float64
 	IORawWords       float64
-	ClustersUsed     int // clusters the automatable version runs on (4)
+	// IOEliminatedRawWords records raw-transfer volume the studied
+	// version eliminated before measurement (MG3D's Table 3 footnote).
+	// It is informational — never charged by calibration or Time, since
+	// the published times were measured without this I/O — and feeds
+	// the I/O-kernel models in internal/kernels.
+	IOEliminatedRawWords float64
+	ClustersUsed         int // clusters the automatable version runs on (4)
 	// Hands lists the hand-optimized variants; Hands[0] is the Table 4
 	// row (later entries are intermediate versions from the text).
 	Hands []HandSpec

@@ -129,7 +129,11 @@ func NewSuite(r Rates) ([]*Profile, error) {
 		{
 			// MG3D: seismic migration; the largest code, 35.2x after
 			// restructuring. The studied version eliminates file I/O
-			// (Table 3 footnote), so no I/O appears here.
+			// (Table 3 footnote), so no I/O is charged here; the
+			// eliminated raw volume is recorded informationally for the
+			// I/O-kernel model of the pre-elimination program (its
+			// 69.6 s of raw transfers against the 348 s of measured
+			// compute give the kernel's 5:1 compute-to-I/O ratio).
 			Name: "MG3D",
 			Targets: Targets{KapSeconds: 7929, KapImprovement: 1.5,
 				AutoSeconds: 348, AutoImprovement: 35.2,
@@ -137,6 +141,7 @@ func NewSuite(r Rates) ([]*Profile, error) {
 			EffParallelism: 32, KapParallelism: 2,
 			ScalarShare: 0.10, VectorEfficiency: 0.85,
 			LoopInvocations: 4000, ClustersUsed: 4,
+			IOEliminatedRawWords: 1.16e8,
 		},
 		{
 			// OCEAN: 2-D ocean simulation; fine-grained loops make it

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/methodology"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // ScalabilityData is the Section 4.3 study: the conjugate-gradient
@@ -52,7 +53,7 @@ func cgRate(ces, n, iters int) (float64, error) {
 	}
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
 	p := kernels.NewCGProblem(n, 64)
-	res, err := kernels.CG(m, rt, p, iters, true, false)
+	res, err := kernels.RunCG(m, rt, p, workload.Options{Iterations: iters, Prefetch: true})
 	if err != nil {
 		return 0, err
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // Table1Published holds the paper's Table 1 (MFLOPS for the rank-64
@@ -65,7 +66,7 @@ func RunTable1(n int) (*Table1Data, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := kernels.Rank64(m, in, mode, false)
+			res, err := kernels.RunRank64(m, in, workload.Options{Mode: mode})
 			if err != nil {
 				return nil, fmt.Errorf("table 1 %v/%d clusters: %w", mode, clusters, err)
 			}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// registry maps workload names to implementations. Kernel packages
+// register from init, so any import of the kernel package populates the
+// table; the map is never mutated after init in practice, and the
+// accessors copy what they expose.
+var registry = map[string]Workload{}
+
+// Register adds w under its Name. Registering a duplicate name panics:
+// two kernels claiming one name is a programming error worth failing
+// loudly at init time.
+func Register(w Workload) {
+	name := w.Name()
+	if name == "" {
+		panic("workload: Register with an empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	registry[name] = w
+}
+
+// Get returns the workload registered under name, or nil.
+func Get(name string) Workload { return registry[name] }
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the registered workload's one-line description, or
+// "" when it has none.
+func Describe(name string) string {
+	if d, ok := registry[name].(interface{ Describe() string }); ok {
+		return d.Describe()
+	}
+	return ""
+}
+
+// Run looks up name and runs it; an unknown name errors with the
+// available names so drivers can surface the registry directly.
+func Run(name string, m *core.Machine, opts Options) (Result, error) {
+	w := Get(name)
+	if w == nil {
+		return Result{}, fmt.Errorf("workload: unknown workload %q (available: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return w.Run(m, opts)
+}
+
+// funcWorkload adapts a function to the Workload interface.
+type funcWorkload struct {
+	name  string
+	about string
+	fn    func(m *core.Machine, opts Options) (Result, error)
+}
+
+func (f funcWorkload) Name() string     { return f.name }
+func (f funcWorkload) Describe() string { return f.about }
+func (f funcWorkload) Run(m *core.Machine, opts Options) (Result, error) {
+	return f.fn(m, opts)
+}
+
+// New wraps a function as a Workload with a one-line description for
+// listings.
+func New(name, about string, fn func(m *core.Machine, opts Options) (Result, error)) Workload {
+	return funcWorkload{name: name, about: about, fn: fn}
+}

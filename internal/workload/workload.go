@@ -1,0 +1,120 @@
+// Package workload defines the single entry point every kernel on the
+// simulated Cedar shares: a Workload runs against a core.Machine under
+// one Options struct and reports one Result. The package replaces the
+// divergent positional parameters the kernel entry points had grown
+// (`usePrefetch, probe bool` here, `mode Mode` there) and carries the
+// registry that lets drivers like cmd/cedarsim select workloads by name
+// instead of hard-coded switches.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Mode selects the memory-system strategy of a kernel, matching the
+// three versions of the paper's Table 1.
+type Mode int
+
+// Kernel memory modes.
+const (
+	// GMNoPrefetch: all vector accesses go to global memory with no
+	// prefetching — throughput is bounded by the two outstanding
+	// requests per CE and the 13-cycle latency.
+	GMNoPrefetch Mode = iota
+	// GMPrefetch: identical access pattern, but every global vector
+	// operand is prefetched.
+	GMPrefetch
+	// GMCache: submatrix blocks are transferred to a cached work array
+	// in each cluster and all inner-loop vector accesses hit the cache.
+	GMCache
+)
+
+// String names the mode as in Table 1.
+func (m Mode) String() string {
+	switch m {
+	case GMNoPrefetch:
+		return "GM/no-pref"
+	case GMPrefetch:
+		return "GM/pref"
+	case GMCache:
+		return "GM/cache"
+	}
+	return "unknown"
+}
+
+// PhaseObserver receives workload phase boundaries; it is structurally
+// identical to cedarfort.PhaseObserver (and telemetry.Sampler satisfies
+// it), so adapters can hand Options.Phases straight to the runtime
+// without this package importing either.
+type PhaseObserver interface {
+	PhaseStart(name string)
+	PhaseEnd(name string)
+}
+
+// Options parameterizes a workload run. The zero value is a sensible
+// default everywhere: no prefetch, no probe, Table 1's GM/no-pref mode,
+// and kernel-chosen size and iteration count.
+type Options struct {
+	// Mode selects the memory-system strategy for kernels with Table 1
+	// variants (Rank64); others ignore it.
+	Mode Mode
+	// Prefetch drives global vector operands through the PFUs for
+	// kernels with a prefetch toggle (VL, TM, CG, the I/O kernels).
+	Prefetch bool
+	// Probe attaches the Table 2 prefetch performance probe when the
+	// run prefetches.
+	Probe bool
+	// Iterations overrides the kernel's iteration/step count; zero
+	// selects the kernel default.
+	Iterations int
+	// Size overrides the kernel's problem size in elements (the meaning
+	// — matrix order, vector length, words per I/O step — is the
+	// kernel's); zero selects the kernel default.
+	Size int
+	// Phases, when non-nil, observes workload phase boundaries (hand a
+	// telemetry.Sampler here to mark phase intervals).
+	Phases PhaseObserver
+}
+
+// Result reports one kernel execution.
+type Result struct {
+	// Name identifies the kernel and variant.
+	Name string
+	// CEs is the processor count used.
+	CEs int
+	// Cycles is the elapsed simulated time.
+	Cycles sim.Cycle
+	// Flops is the floating-point operation count performed by the CEs.
+	Flops int64
+	// MFLOPS is the paper's rate metric.
+	MFLOPS float64
+	// Check is a kernel-specific numerical checksum for verification.
+	Check float64
+	// Latency and Interarrival are the Table 2 prefetch metrics in
+	// cycles (NaN when the kernel was run without a probe or without
+	// prefetching).
+	Latency      float64
+	Interarrival float64
+	// Notes carries kernel-specific result lines (a CG residual, an I/O
+	// volume) for drivers to print verbatim.
+	Notes []string
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%-14s P=%-3d %8d cycles  %7.1f MFLOPS", r.Name, r.CEs, r.Cycles, r.MFLOPS)
+	if !math.IsNaN(r.Latency) {
+		s += fmt.Sprintf("  lat=%5.1f  ia=%4.2f", r.Latency, r.Interarrival)
+	}
+	return s
+}
+
+// Workload is a runnable kernel: a name for the registry and a Run
+// driving a machine under the shared Options.
+type Workload interface {
+	Name() string
+	Run(m *core.Machine, opts Options) (Result, error)
+}

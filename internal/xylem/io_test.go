@@ -1,0 +1,78 @@
+package xylem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeIODevice records submissions and lets the test fire completions
+// at a cycle of its choosing.
+type fakeIODevice struct {
+	subs []struct {
+		now       sim.Cycle
+		words     int64
+		formatted bool
+	}
+	fire []func(IOCompletion)
+}
+
+func (d *fakeIODevice) Submit(now sim.Cycle, words int64, formatted bool, onDone func(IOCompletion)) {
+	d.subs = append(d.subs, struct {
+		now       sim.Cycle
+		words     int64
+		formatted bool
+	}{now, words, formatted})
+	d.fire = append(d.fire, onDone)
+}
+
+func TestIOWaitParkAndRedispatch(t *testing.T) {
+	w := NewIOWait()
+	dev := &fakeIODevice{}
+	var resumed []IOCompletion
+	w.Park(100, dev, 640, true, "writer-a", func(c IOCompletion) { resumed = append(resumed, c) })
+	w.Park(130, dev, 64, false, "reader-b", func(c IOCompletion) { resumed = append(resumed, c) })
+
+	if w.Parked() != 2 || w.Parks != 2 {
+		t.Fatalf("parked %d / parks %d, want 2 / 2", w.Parked(), w.Parks)
+	}
+	if len(dev.subs) != 2 || dev.subs[0].words != 640 || !dev.subs[0].formatted || dev.subs[1].words != 64 {
+		t.Fatalf("device saw submissions %+v", dev.subs)
+	}
+	if w.NextEvent(150) != sim.Never {
+		t.Fatal("park table should never request a tick; completions come via callbacks")
+	}
+
+	// Out-of-order completion: the second request finishes first.
+	dev.fire[1](IOCompletion{Submitted: 130, Done: 400, Words: 64})
+	if w.Parked() != 1 || len(resumed) != 1 || resumed[0].Words != 64 {
+		t.Fatalf("after first completion: parked %d, resumed %+v", w.Parked(), resumed)
+	}
+	dev.fire[0](IOCompletion{Submitted: 100, Done: 900, Words: 640, Formatted: true})
+	if w.Parked() != 0 || w.Completions != 2 {
+		t.Fatalf("after both: parked %d, completions %d", w.Parked(), w.Completions)
+	}
+	if want := int64((400 - 130) + (900 - 100)); w.WaitCycles != want {
+		t.Fatalf("WaitCycles %d, want %d", w.WaitCycles, want)
+	}
+}
+
+func TestIOWaitFaultReasonNamesParkedPrograms(t *testing.T) {
+	w := NewIOWait()
+	dev := &fakeIODevice{}
+	if w.FaultReason() != "" {
+		t.Fatalf("empty table reported a fault: %q", w.FaultReason())
+	}
+	w.Park(42, dev, 1000, true, "BDNA step 1 ce0", nil)
+	r := w.FaultReason()
+	for _, want := range []string{"BDNA step 1 ce0", "1000 formatted words", "cycle 42"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("FaultReason %q missing %q", r, want)
+		}
+	}
+	dev.fire[0](IOCompletion{Submitted: 42, Done: 99})
+	if w.FaultReason() != "" {
+		t.Fatalf("completed table still reports: %q", w.FaultReason())
+	}
+}
