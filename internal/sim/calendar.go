@@ -1,0 +1,123 @@
+package sim
+
+// calendar is the engine's wake calendar: an indexed binary min-heap of
+// registered components keyed by (due cycle, registration index). The
+// index tie-break is load-bearing — components due the same cycle must
+// be processed in registration order so tick order stays bit-identical
+// to the naive scan — and the position index makes moveEarlier (the
+// Wake-reschedule used when external stimulus invalidates a future
+// NextEvent answer) O(log n) instead of a linear search.
+//
+// Entries are component indices; the at/pos arrays are parallel to the
+// engine's component slice and grown at Register time, so scheduling a
+// component never allocates on the per-cycle path.
+type calendar struct {
+	heap []int   // component indices, heap-ordered by less()
+	at   []Cycle // per component: due cycle (valid while pos[i] >= 0)
+	pos  []int   // per component: position in heap, -1 when not scheduled
+}
+
+// grow extends the parallel arrays for one newly registered component.
+func (c *calendar) grow() {
+	c.at = append(c.at, 0)
+	c.pos = append(c.pos, -1)
+}
+
+func (c *calendar) empty() bool { return len(c.heap) == 0 }
+
+// contains reports whether component i currently has a calendar entry.
+func (c *calendar) contains(i int) bool { return c.pos[i] >= 0 }
+
+// minIdx returns the component index of the earliest entry; minAt its
+// due cycle. Both require a non-empty calendar.
+func (c *calendar) minIdx() int  { return c.heap[0] }
+func (c *calendar) minAt() Cycle { return c.at[c.heap[0]] }
+
+// less orders heap entries by due cycle, ties broken by registration
+// index (the engine's deterministic tick order).
+func (c *calendar) less(a, b int) bool {
+	return c.at[a] < c.at[b] || (c.at[a] == c.at[b] && a < b)
+}
+
+// push schedules component i at cycle t. The component must not already
+// be scheduled.
+func (c *calendar) push(i int, t Cycle) {
+	if c.pos[i] >= 0 {
+		panic("sim: calendar push of an already scheduled component")
+	}
+	c.at[i] = t
+	c.pos[i] = len(c.heap)
+	c.heap = append(c.heap, i)
+	c.siftUp(len(c.heap) - 1)
+}
+
+// popMin removes and returns the earliest entry's component index.
+func (c *calendar) popMin() int {
+	i := c.heap[0]
+	c.pos[i] = -1
+	last := len(c.heap) - 1
+	if last > 0 {
+		c.heap[0] = c.heap[last]
+		c.pos[c.heap[0]] = 0
+	}
+	c.heap = c.heap[:last]
+	if last > 0 {
+		c.siftDown(0)
+	}
+	return i
+}
+
+// moveEarlier reschedules component i to cycle t if t is earlier than
+// its current entry; a later t is ignored (a Wake may never delay an
+// already scheduled event). The component must be scheduled.
+func (c *calendar) moveEarlier(i int, t Cycle) {
+	if t >= c.at[i] {
+		return
+	}
+	c.at[i] = t
+	c.siftUp(c.pos[i])
+}
+
+// reset removes every entry.
+func (c *calendar) reset() {
+	for _, i := range c.heap {
+		c.pos[i] = -1
+	}
+	c.heap = c.heap[:0]
+}
+
+func (c *calendar) siftUp(p int) {
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !c.less(c.heap[p], c.heap[parent]) {
+			return
+		}
+		c.swap(p, parent)
+		p = parent
+	}
+}
+
+func (c *calendar) siftDown(p int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*p+1, 2*p+2
+		min := p
+		if l < n && c.less(c.heap[l], c.heap[min]) {
+			min = l
+		}
+		if r < n && c.less(c.heap[r], c.heap[min]) {
+			min = r
+		}
+		if min == p {
+			return
+		}
+		c.swap(p, min)
+		p = min
+	}
+}
+
+func (c *calendar) swap(a, b int) {
+	c.heap[a], c.heap[b] = c.heap[b], c.heap[a]
+	c.pos[c.heap[a]] = a
+	c.pos[c.heap[b]] = b
+}

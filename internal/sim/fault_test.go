@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -92,3 +93,74 @@ func (p *parkedSick) Tick(Cycle) {}
 func (p *parkedSick) NextEvent(Cycle) Cycle { return Never }
 
 func (p *parkedSick) FaultReason() string { return p.reason }
+
+// schedState captures every piece of engine scheduling state the error
+// path could possibly perturb.
+type schedState struct {
+	now                 Cycle
+	skipped, ffwd, dorm int64
+	dormant             []bool
+	nDormant            int
+	calHeap             []int
+	calAt               []Cycle
+	never, nextDue      []int
+	lastTick            []Cycle
+}
+
+func snapshot(e *Engine) schedState {
+	s := schedState{
+		now: e.now, skipped: e.SkippedTicks, ffwd: e.FastForwarded, dorm: e.DormantSkips,
+		nDormant: e.nDormant,
+		dormant:  append([]bool(nil), e.dormant...),
+		calHeap:  append([]int(nil), e.cal.heap...),
+		never:    append([]int(nil), e.never...),
+		nextDue:  append([]int(nil), e.nextDue...),
+		lastTick: append([]Cycle(nil), e.lastTick...),
+	}
+	for _, i := range e.cal.heap {
+		s.calAt = append(s.calAt, e.cal.at[i])
+	}
+	return s
+}
+
+// TestFailedRunUntilLeavesStateIntact pins the error path's contract: a
+// RunUntil that times out must leave the engine bit-identical to a plain
+// Run over the same span — in particular the deadline diagnosis must not
+// re-query NextEvent, reinsert calendar entries, or disturb dormancy.
+func TestFailedRunUntilLeavesStateIntact(t *testing.T) {
+	for _, mode := range []EngineMode{ModeWakeCached, ModeQuiescent} {
+		build := func() (*Engine, []*doorbell, *alarm) {
+			e := New()
+			e.SetMode(mode)
+			bells := []*doorbell{{}, {}}
+			e.Register("bell0", bells[0])
+			a := &alarm{at: 30}
+			e.Register("alarm", a)
+			e.Register("bell1", bells[1])
+			return e, bells, a
+		}
+		ref, refBells, _ := build()
+		ref.Run(50)
+		got, gotBells, _ := build()
+		if _, err := got.RunUntil(func() bool { return false }, 50); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("mode %v: err = %v, want ErrDeadline", mode, err)
+		}
+		want, have := snapshot(ref), snapshot(got)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("mode %v: failed RunUntil perturbed engine state\n run: %+v\nuntil: %+v", mode, want, have)
+		}
+		for i := range refBells {
+			if refBells[i].queries != gotBells[i].queries {
+				t.Fatalf("mode %v: bell%d queried %d times via RunUntil, %d via Run — error path re-queried NextEvent",
+					mode, i, gotBells[i].queries, refBells[i].queries)
+			}
+		}
+		// The engine must remain fully usable: a Wake after the failed
+		// RunUntil revives the component exactly as usual.
+		gotBells[0].Ring()
+		got.Run(10)
+		if ta := gotBells[0].ticksAt; len(ta) != 1 || ta[0] != 50 {
+			t.Fatalf("mode %v: bell0 ticked at %v after post-deadline Wake, want [50]", mode, ta)
+		}
+	}
+}

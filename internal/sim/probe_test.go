@@ -66,6 +66,35 @@ func TestProbeBoundariesInsideJump(t *testing.T) {
 	}
 }
 
+// TestJumpLandsExactlyOnSampleBoundary: when the calendar's minimum
+// coincides with a probe sample boundary, the jump must land there once —
+// delivering the sample AND ticking the due component at that cycle, with
+// no duplicate sample and no overshoot.
+func TestJumpLandsExactlyOnSampleBoundary(t *testing.T) {
+	e := New()
+	s := &napper{wake: 90}
+	e.Register("s", s)
+	p := &recProbe{every: 30}
+	e.SetProbe(p)
+	e.Run(100)
+	wantSamples := []Cycle{0, 30, 60, 90}
+	if len(p.got) != len(wantSamples) {
+		t.Fatalf("samples at %v, want %v", p.got, wantSamples)
+	}
+	for i := range wantSamples {
+		if p.got[i] != wantSamples[i] {
+			t.Fatalf("samples at %v, want %v", p.got, wantSamples)
+		}
+	}
+	if len(s.ticks) == 0 || s.ticks[0] != 90 {
+		t.Fatalf("napper first tick = %v, want exactly the boundary cycle 90", s.ticks)
+	}
+	// Three jumps (0→30, 30→60, 60→90), each eliding 29 quiet cycles.
+	if e.FastForwarded != 87 {
+		t.Fatalf("FastForwarded = %d, want 87 (three 29-cycle jumps landing on boundaries)", e.FastForwarded)
+	}
+}
+
 // TestSetProbeNilRestoresJumps: removing the probe restores unclamped
 // fast-forwarding.
 func TestSetProbeNilRestoresJumps(t *testing.T) {

@@ -15,15 +15,20 @@
 // is active every cycle, and because exact determinism keeps the test
 // suite precise. The paper's workloads nevertheless contain long quiet
 // stretches — the ≈90 µs XDOALL startup, barrier spin backoffs, drained
-// networks between strips — so the engine is quiescence-aware: components
-// that implement IdleComponent are skipped while they report no work, and
-// when every component agrees the machine is quiet until a known future
-// cycle the engine fast-forwards time in one jump. On top of that, a
-// component whose answer is Never is marked dormant and excluded from the
-// per-cycle query loop entirely until an external stimulus calls Wake on
-// its Handle. All optimizations are exact: every engine mode produces
-// bit-identical cycle counts and statistics to the naive tick-everything
-// run (SetMode selects the path for equivalence testing).
+// networks between strips — so the fast engine paths run on a wake
+// calendar: a min-heap keyed by each component's NextEvent cycle (ties
+// broken by registration index, preserving tick order). An executed
+// cycle touches only the components due at it; everything else costs
+// nothing, so per-cycle host cost is O(components due), not
+// O(components registered). A component whose answer is Never has no
+// calendar entry at all: it is marked dormant until an external
+// stimulus calls Wake on its Handle, which reinserts it at the exact
+// slot the naive engine would next observe the stimulus. Fast-forward
+// falls out of the same structure — when nothing is due, time jumps to
+// the calendar's minimum. All optimizations are exact: every engine
+// mode produces bit-identical cycle counts and statistics to the naive
+// tick-everything run (SetMode selects the path for equivalence
+// testing).
 package sim
 
 import (
@@ -66,11 +71,27 @@ func FromDuration(d time.Duration) Cycle {
 // number of hundredths the division is done in integers, which keeps exact
 // cycle multiples exact — 0.17 µs is 1 cycle, not the 2 that a float
 // divide's representation error used to produce.
+//
+// The conversion saturates instead of wrapping: inputs so large that
+// us*100 no longer fits an int64 (where the float→int conversion is
+// undefined and used to wrap negative) convert in floating point, and
+// anything beyond the representable cycle range clamps to the maximum
+// Cycle. NaN converts to 0.
 func FromMicroseconds(us float64) Cycle {
-	if us <= 0 {
+	if math.IsNaN(us) || us <= 0 {
 		return 0
 	}
 	h := us * 100
+	// Past 2^62 hundredths the integer fast path below would overflow:
+	// int64(r) is undefined for r >= 2^63 and (int64(r)+16) can wrap even
+	// before that. Convert in floating point and saturate.
+	if h >= float64(1<<62) {
+		c := math.Ceil(h / 17)
+		if c >= float64(math.MaxInt64) {
+			return Cycle(math.MaxInt64)
+		}
+		return Cycle(c)
+	}
 	r := math.Round(h)
 	if math.Abs(h-r) <= 1e-9*math.Max(r, 1) {
 		return Cycle((int64(r) + 16) / 17)
@@ -102,16 +123,25 @@ const Never = Cycle(math.MaxInt64)
 // cycle"; a future cycle means every tick before it would be a no-op; and
 // Never means the component is fully passive until external stimulus.
 //
-// The engine queries NextEvent immediately before the component's tick
-// slot each cycle (never from a stale snapshot), so a component woken by
-// an earlier-in-order component during the same cycle is ticked exactly
-// as the naive engine would tick it. A future answer must stay valid
-// until then under external stimulus delivered between the component's
-// tick slots; components whose wake-up time can move earlier must return
-// now or Never. In ModeWakeCached (the default) a Never answer is cached:
-// the component is marked dormant and not queried again until something
-// calls Wake on its Handle, so every external-stimulus entry point of a
-// Never-capable component must wake it (see Waker and DESIGN.md §4.1).
+// The engine schedules each component on a wake calendar keyed by its
+// last NextEvent answer and queries it again exactly when that cycle
+// arrives — immediately before the component's tick slot, never from a
+// stale snapshot — so a component woken by an earlier-in-order component
+// during the same cycle is ticked exactly as the naive engine would tick
+// it. A future answer must therefore stay valid until it arrives:
+// external stimulus delivered between the component's tick slots may
+// move the answer later (the calendar re-queries on arrival and
+// reschedules) or call Wake on the component's Handle (which reinserts
+// the calendar entry at the wake slot), but an earlier event without a
+// Wake is unobservable. Components whose wake-up time can move earlier
+// outside a waking entry point must return now or Never. A Never answer
+// removes the component from the calendar entirely: in ModeWakeCached
+// (the default) it is marked dormant and not queried again until
+// something calls Wake on its Handle, so every external-stimulus entry
+// point of a Never-capable component must wake it (see Waker and
+// DESIGN.md §4.1); in ModeQuiescent it joins a re-query list polled
+// every executed cycle instead, preserving that path's no-Wake-needed
+// reference contract.
 type IdleComponent interface {
 	Component
 	NextEvent(now Cycle) Cycle
@@ -198,15 +228,38 @@ type Engine struct {
 	// Parallel to comps: the quiescence view of each component (nil when
 	// the component does not implement the interface), the last cycle it
 	// was actually ticked (-1 before the first tick), and whether its
-	// last NextEvent answer was Never (dormant components are not queried
-	// again until woken; ModeWakeCached only).
+	// last NextEvent answer was Never (dormant components have no
+	// calendar entry and are not queried again until woken;
+	// ModeWakeCached only).
 	idle     []IdleComponent
 	skip     []SkipAware
 	lastTick []Cycle
 	dormant  []bool
 
+	// The wake calendar (fast paths only). Every IdleComponent is in
+	// exactly one place at a time: the calendar heap (a future or due
+	// query is scheduled), the due ring (due exactly next cycle — kept
+	// out of the heap to spare push/pop churn in dense phases where
+	// every unit ticks every cycle), the dormant set (ModeWakeCached,
+	// last answer Never), or the never list (ModeQuiescent, last answer
+	// Never; sorted by registration index and re-queried every executed
+	// cycle, preserving that path's re-polling contract). Components
+	// that do not implement IdleComponent live in always and are ticked
+	// at every executed cycle.
+	always   []int
+	cal      calendar
+	curDue   []int // due ring being consumed this cycle (scratch)
+	nextDue  []int // due ring for the next cycle, in registration order
+	never    []int
+	nDormant int
+
 	mode    EngineMode
 	ticking bool
+	// curIdx is the registration index of the component whose slot the
+	// engine is processing mid-cycle (-1 outside the loop); Wake uses it
+	// to place a woken component at the same cycle when the waker ticks
+	// earlier in registration order, next cycle otherwise.
+	curIdx int
 
 	probe      Probe
 	nextSample Cycle
@@ -223,10 +276,11 @@ type Engine struct {
 }
 
 // New returns an empty engine at cycle zero in ModeWakeCached.
-func New() *Engine { return &Engine{nextSample: Never} }
+func New() *Engine { return &Engine{nextSample: Never, curIdx: -1} }
 
 // SetMode selects the engine path. Switching settles any deferred skip
-// accounting and clears dormancy first, so the toggle is safe between
+// accounting, clears dormancy, and rebuilds the wake calendar with every
+// idle component due at the current cycle, so the toggle is safe between
 // runs: the new path starts from fully settled state and re-discovers
 // quiescence on its own terms.
 func (e *Engine) SetMode(m EngineMode) {
@@ -234,10 +288,40 @@ func (e *Engine) SetMode(m EngineMode) {
 		return
 	}
 	e.Settle()
+	if e.mode == ModeNaive {
+		// The naive path executed every cycle itself, so nothing is owed:
+		// without this, lastTick left stale from before a naive stint
+		// would double-credit the naive-executed span through SkipCycles
+		// at the first fast-path tick.
+		for i := range e.lastTick {
+			e.lastTick[i] = e.now - 1
+		}
+	}
 	for i := range e.dormant {
 		e.dormant[i] = false
 	}
+	e.nDormant = 0
 	e.mode = m
+	e.rebuild()
+}
+
+// rebuild re-seeds the calendar for the current mode: every idle
+// component becomes due at the current cycle — exactly the state of a
+// freshly built engine — and the first executed cycle re-queries them
+// all. The naive path uses no calendar.
+func (e *Engine) rebuild() {
+	e.cal.reset()
+	e.never = e.never[:0]
+	e.curDue = e.curDue[:0]
+	e.nextDue = e.nextDue[:0]
+	if e.mode == ModeNaive {
+		return
+	}
+	for i, ic := range e.idle {
+		if ic != nil {
+			e.cal.push(i, e.now)
+		}
+	}
 }
 
 // Mode reports the selected engine path.
@@ -295,17 +379,51 @@ type Handle struct {
 	idx int
 }
 
-// Wake marks the component runnable again after external stimulus. It
-// clears the dormant flag set when the component's last NextEvent answer
-// was Never, so the engine resumes querying it: from the next cycle if
-// the waker ticks later in registration order than the woken component,
-// or within the current cycle otherwise — exactly when the naive engine
-// would next observe the stimulus. Waking a non-dormant component is a
-// cheap no-op, so stimulus entry points may call it unconditionally.
+// Wake marks the component runnable again after external stimulus. A
+// dormant component (last NextEvent answer Never) is reinserted into the
+// wake calendar at the next cycle if the waker ticks later in
+// registration order than the woken component, or within the current
+// cycle otherwise — exactly when the naive engine would next observe
+// the stimulus. Waking a component that already has a calendar entry
+// pulls the entry forward to that same slot if it was later — a
+// query-only perturbation (the re-query either ticks the component,
+// exactly as the naive engine would, or reschedules it), which is what
+// lets stimulus invalidate a previously reported future event: an
+// IP.Submit while only a far-off completion was scheduled, for example.
+// Waking a component that is already due is a cheap no-op, so stimulus
+// entry points may call it unconditionally.
 func (h Handle) Wake() {
 	if h.eng != nil {
-		h.eng.dormant[h.idx] = false
+		h.eng.wake(h.idx)
 	}
+}
+
+// wake implements Handle.Wake and Engine.Wake for component index i.
+func (e *Engine) wake(i int) {
+	if e.dormant[i] {
+		e.dormant[i] = false
+		e.nDormant--
+		e.cal.push(i, e.wakeSlot(i))
+		return
+	}
+	// Non-dormant: pull a scheduled future query forward to the wake
+	// slot. Components in the due ring, on the quiescent never list, or
+	// mid-pop are already (re-)queried no later than the wake slot, so
+	// they need nothing. The naive path keeps no calendar at all.
+	if e.mode != ModeNaive && e.cal.contains(i) {
+		e.cal.moveEarlier(i, e.wakeSlot(i))
+	}
+}
+
+// wakeSlot is the cycle at which a component woken right now must next
+// be queried: the cycle being executed when its tick slot is still
+// ahead of the waker's, the next cycle otherwise. Between cycles
+// (ticking false) e.now is the next cycle to execute.
+func (e *Engine) wakeSlot(i int) Cycle {
+	if e.ticking && i <= e.curIdx {
+		return e.now + 1
+	}
+	return e.now
 }
 
 // Waker is the stimulus-notification half of the wake API: anything that
@@ -339,15 +457,35 @@ func (e *Engine) Register(name string, c Component) Handle {
 	e.skip = append(e.skip, sa)
 	e.lastTick = append(e.lastTick, -1)
 	e.dormant = append(e.dormant, false)
-	h := Handle{eng: e, idx: len(e.comps) - 1}
+	e.cal.grow()
+	i := len(e.comps) - 1
+	if ic == nil {
+		// No quiescence view: ticked at every executed cycle.
+		e.always = append(e.always, i)
+	} else if e.mode != ModeNaive {
+		at := e.now
+		if e.ticking {
+			// Mid-cycle registration joins from the next cycle, matching
+			// the naive path's snapshot of the component slice.
+			at++
+		}
+		e.cal.push(i, at)
+	}
+	h := Handle{eng: e, idx: i}
 	if ws, ok := c.(WakeSink); ok {
 		ws.AttachWaker(h)
 	}
 	return h
 }
 
-// Wake marks a component runnable; equivalent to h.Wake().
+// Wake marks a component runnable; equivalent to h.Wake(). The zero
+// Handle is valid and inert here exactly as for Handle.Wake: waking it
+// is a no-op, so unit-test doubles built without an engine pass through
+// unharmed. A Handle from a different engine still panics.
 func (e *Engine) Wake(h Handle) {
+	if h.eng == nil {
+		return
+	}
 	if h.eng != e {
 		panic("sim: Wake with a Handle from a different engine")
 	}
@@ -394,64 +532,146 @@ func (e *Engine) Step() {
 func (e *Engine) MidCycle() bool { return e.ticking }
 
 // advance executes the cycle at e.now on the fast paths, then moves
-// time forward: by one cycle normally, or in a single jump to the
-// earliest future event when no component had work, capped at limit.
-// NextEvent is queried per tick slot, so stimulus generated by an
-// earlier-in-order component in the same cycle is observed exactly as on
-// the naive path; a jump happens only when no component ticked at all,
-// which guarantees the queried wake-up times are still valid.
+// time forward: by one cycle normally, or in a single jump to the wake
+// calendar's minimum when no component had work, capped at limit. The
+// cycle's candidates are merged in ascending registration index from
+// four sources — the always-active components, the due ring (components
+// the previous cycle scheduled for this one), the quiescent-mode never
+// list, and calendar entries whose due cycle has arrived — so tick
+// order is bit-identical to the naive scan. Each candidate's NextEvent
+// is queried at its own slot, never from a snapshot: stimulus generated
+// by an earlier-in-order component the same cycle is observed exactly
+// as on the naive path, because a mid-cycle Wake inserts the woken
+// component's calendar entry at this cycle when its slot is still
+// ahead (the merge picks it up in order) and at the next cycle
+// otherwise.
 //
-// In ModeWakeCached a Never answer marks the component dormant: its tick
-// slot is skipped without a query until a Wake. This is exact because
-// Never means "only external stimulus can create an event", every
-// stimulus entry point wakes its component, and a mid-cycle Wake clears
-// the flag before the slot where the naive path would first observe the
-// stimulus (same cycle when the waker ticks earlier in order, next cycle
-// otherwise — NextEvent answers may not depend on tick-slot position
-// within a cycle, per the IdleComponent contract).
+// A queried component is then rescheduled by its answer: at its slot
+// next cycle after a tick (re-querying each executed cycle is what the
+// naive path observes), at a future cycle it named, into the dormant
+// set on Never in ModeWakeCached, or onto the never list in
+// ModeQuiescent. A jump happens only when no component ticked at all,
+// which guarantees every calendar entry is still valid.
 func (e *Engine) advance(limit Cycle) {
 	e.maybeSample()
-	cache := e.mode == ModeWakeCached
-	minNext := Never
-	ticked := false
+	now := e.now
+	// Diagnostics mirror the scan engine's: every registered component
+	// either ticks at an executed cycle or counts as an elided tick, and
+	// each component dormant as the cycle begins counts a dormant skip.
+	e.DormantSkips += int64(e.nDormant)
+	e.curDue, e.nextDue = e.nextDue, e.curDue[:0]
+	di, ni, ai := 0, 0, 0
+	nTicked := 0
 	e.ticking = true
-	for i, c := range e.comps {
-		if e.dormant[i] {
-			e.SkippedTicks++
-			e.DormantSkips++
-			continue
+	e.curIdx = -1
+	const (
+		srcAlways = iota
+		srcDue
+		srcNever
+		srcCal
+	)
+	for {
+		// Next candidate: the smallest registration index among the four
+		// sources. The calendar is consulted live so entries inserted
+		// mid-cycle by Wake are merged in order.
+		idx := -1
+		src := srcAlways
+		if ai < len(e.always) {
+			idx = e.always[ai]
 		}
-		if ic := e.idle[i]; ic != nil {
-			if ne := ic.NextEvent(e.now); ne > e.now {
-				if ne == Never && cache {
-					e.dormant[i] = true
-				} else if ne < minNext {
-					minNext = ne
-				}
-				e.SkippedTicks++
-				continue
+		if di < len(e.curDue) && (idx < 0 || e.curDue[di] < idx) {
+			idx, src = e.curDue[di], srcDue
+		}
+		if ni < len(e.never) && (idx < 0 || e.never[ni] < idx) {
+			idx, src = e.never[ni], srcNever
+		}
+		if !e.cal.empty() && e.cal.minAt() <= now {
+			if j := e.cal.minIdx(); idx < 0 || j < idx {
+				idx, src = j, srcCal
 			}
 		}
-		ticked = true
-		if sa := e.skip[i]; sa != nil && e.lastTick[i]+1 < e.now {
-			sa.SkipCycles(e.lastTick[i]+1, e.now)
+		if idx < 0 {
+			break
 		}
-		e.lastTick[i] = e.now
-		c.Tick(e.now)
+		switch src {
+		case srcAlways:
+			ai++
+		case srcDue:
+			di++
+		case srcNever:
+			ni++
+		case srcCal:
+			e.cal.popMin()
+		}
+		e.curIdx = idx
+		if src != srcAlways {
+			ne := e.idle[idx].NextEvent(now)
+			if ne > now {
+				if ne == Never {
+					if e.mode == ModeWakeCached {
+						e.dormant[idx] = true
+						e.nDormant++
+					} else if src != srcNever {
+						// Quiescent path: joins the never list at the scan
+						// position (the list stays sorted; remaining members
+						// all have larger indices) and is re-queried from the
+						// next executed cycle on.
+						e.never = append(e.never, 0)
+						copy(e.never[ni+1:], e.never[ni:len(e.never)-1])
+						e.never[ni] = idx
+						ni++
+					}
+				} else {
+					if src == srcNever {
+						ni--
+						e.never = append(e.never[:ni], e.never[ni+1:]...)
+					}
+					if ne == now+1 {
+						e.nextDue = append(e.nextDue, idx)
+					} else {
+						e.cal.push(idx, ne)
+					}
+				}
+				continue
+			}
+			if src == srcNever {
+				ni--
+				e.never = append(e.never[:ni], e.never[ni+1:]...)
+			}
+			// Ticked components are due again next cycle: the re-query at
+			// their next slot is exactly what the scan engine did every
+			// executed cycle, and it keeps stale answers impossible.
+			e.nextDue = append(e.nextDue, idx)
+		}
+		if sa := e.skip[idx]; sa != nil && e.lastTick[idx]+1 < now {
+			sa.SkipCycles(e.lastTick[idx]+1, now)
+		}
+		e.lastTick[idx] = now
+		e.comps[idx].Tick(now)
+		nTicked++
 	}
+	e.curIdx = -1
 	e.ticking = false
-	if !ticked {
-		target := minNext
+	e.SkippedTicks += int64(len(e.comps) - nTicked)
+	if nTicked == 0 {
+		target := Never
+		if len(e.nextDue) > 0 {
+			// A component answered now+1 without ticking: the next cycle
+			// is pinned even though the calendar heap does not hold it.
+			target = now + 1
+		} else if !e.cal.empty() {
+			target = e.cal.minAt()
+		}
 		if target > limit {
 			target = limit
 		}
 		// Land exactly on the next sample boundary so the probe observes
-		// it; the landing re-runs the NextEvent queries but ticks nothing.
+		// it; the landing runs the due-candidate merge but ticks nothing.
 		if target > e.nextSample {
 			target = e.nextSample
 		}
-		if target > e.now+1 {
-			e.FastForwarded += int64(target - e.now - 1)
+		if target > now+1 {
+			e.FastForwarded += int64(target - now - 1)
 			e.now = target
 			return
 		}
@@ -566,27 +786,23 @@ func (e *Engine) faulted() []string {
 
 // stuckDormant returns the names of dormant components when they are
 // provably the only possible source of progress: at least one component
-// is dormant, and every non-dormant component both reports quiescence
-// (implements IdleComponent) and has no event scheduled. Any always-
-// active component or pending future event means the machine may still
-// move, so nil is returned.
+// is dormant and nothing else is scheduled anywhere — no always-active
+// component, no calendar entry, no due-ring entry, and no never-list
+// member whose re-query could discover work. The decision reads only
+// the engine's own scheduling state; it never re-queries NextEvent, so
+// a failed RunUntil cannot reinsert, reschedule, or otherwise perturb a
+// component — the engine is left bit-identical for diagnosis or resume.
 func (e *Engine) stuckDormant() []string {
-	var names []string
+	if e.nDormant == 0 {
+		return nil
+	}
+	if len(e.always) > 0 || !e.cal.empty() || len(e.nextDue) > 0 || len(e.never) > 0 {
+		return nil
+	}
+	names := make([]string, 0, e.nDormant)
 	for i := range e.comps {
 		if e.dormant[i] {
 			names = append(names, e.names[i])
-		}
-	}
-	if len(names) == 0 {
-		return nil
-	}
-	for i := range e.comps {
-		if e.dormant[i] {
-			continue
-		}
-		ic := e.idle[i]
-		if ic == nil || ic.NextEvent(e.now) != Never {
-			return nil
 		}
 	}
 	return names

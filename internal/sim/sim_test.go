@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -76,6 +77,34 @@ func TestFromMicroseconds(t *testing.T) {
 		if got := FromMicroseconds(float64(k) * 0.17); got != k {
 			t.Fatalf("FromMicroseconds(%d * 0.17) = %d, want %d", k, got, k)
 		}
+	}
+	// Overflow edge: once us*100 leaves int64 range the old float-to-int
+	// conversion wrapped (negative cycles); the conversion must saturate
+	// instead. NaN is treated as no time at all.
+	saturating := []struct {
+		us   float64
+		want Cycle
+	}{
+		{1e30, Cycle(math.MaxInt64)},
+		{1e300, Cycle(math.MaxInt64)},
+		{math.MaxFloat64, Cycle(math.MaxInt64)},
+		{math.Inf(1), Cycle(math.MaxInt64)},
+		{math.NaN(), 0},
+	}
+	for _, c := range saturating {
+		if got := FromMicroseconds(c.us); got != c.want {
+			t.Fatalf("FromMicroseconds(%g) = %d, want %d", c.us, got, c.want)
+		}
+	}
+	// Below saturation the result must stay positive and monotonic all the
+	// way up — the wrap bug produced a sign flip around 9.2e16 µs.
+	prev := Cycle(0)
+	for _, us := range []float64{1e12, 1e14, 1e16, 5e16, 9e16, 1e17, 1e18} {
+		got := FromMicroseconds(us)
+		if got <= prev {
+			t.Fatalf("FromMicroseconds(%g) = %d, not monotonically positive (prev %d)", us, got, prev)
+		}
+		prev = got
 	}
 }
 

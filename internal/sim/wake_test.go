@@ -156,6 +156,68 @@ func TestZeroHandleWakeIsNoOp(t *testing.T) {
 	h.Wake() // must not panic: unregistered unit-test components hold one
 }
 
+func TestEngineWakeZeroHandleIsNoOp(t *testing.T) {
+	// The Handle docs declare the zero value valid and inert; Engine.Wake
+	// must honor that too, not mistake nil for a foreign engine.
+	e := New()
+	e.Register("busy", ComponentFunc(func(Cycle) {}))
+	e.Wake(Handle{}) // must not panic
+	e.Run(1)
+}
+
+// deferral models the IP.Submit hazard: a component holding a far-future
+// completion whose answer is invalidated by an earlier request arriving
+// mid-run. Submit wakes the component, which must pull its calendar
+// entry forward — sleeping to the stale answer would diverge from naive.
+type deferral struct {
+	waker   Waker
+	doneAt  Cycle
+	ticksAt []Cycle
+}
+
+func (f *deferral) AttachWaker(w Waker) { f.waker = w }
+
+func (f *deferral) Submit(at Cycle) {
+	if at < f.doneAt {
+		f.doneAt = at
+	}
+	if f.waker != nil {
+		f.waker.Wake()
+	}
+}
+
+func (f *deferral) NextEvent(now Cycle) Cycle {
+	if f.doneAt < now {
+		return now
+	}
+	return f.doneAt
+}
+
+func (f *deferral) Tick(now Cycle) {
+	if now == f.doneAt {
+		f.ticksAt = append(f.ticksAt, now)
+		f.doneAt = Never
+	}
+}
+
+func TestWakeReschedulesEarlierEvent(t *testing.T) {
+	// The component first answers 500, then stimulus at cycle 20 makes 60
+	// its real next event. Every mode must tick it at exactly 60.
+	for _, mode := range []EngineMode{ModeWakeCached, ModeQuiescent, ModeNaive} {
+		e := New()
+		e.SetMode(mode)
+		f := &deferral{doneAt: 500}
+		e.Register("ip", f)
+		e.Register("busy", ComponentFunc(func(Cycle) {}))
+		e.Run(20)
+		f.Submit(60) // invalidates the cached 500 answer
+		e.Run(480)
+		if len(f.ticksAt) != 1 || f.ticksAt[0] != 60 {
+			t.Fatalf("mode %v: ticks at %v, want [60] — stale calendar entry slept past the earlier event", mode, f.ticksAt)
+		}
+	}
+}
+
 func TestWakeForeignHandlePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
