@@ -18,9 +18,11 @@
 // Telemetry: -metrics-out dumps the final metrics registry,
 // -trace-out writes a Chrome trace_event JSON timeline (open it at
 // https://ui.perfetto.dev or chrome://tracing), -sample-every sets the
-// sampling interval, -flame prints the text activity summary, and
-// -pprof serves net/http/pprof plus expvar runtime metrics for
-// profiling the simulator itself.
+// sampling interval, -flame prints the text activity summary, -cpi
+// prints the per-CE and per-phase CPI stack tables, -attr-out writes
+// the per-interval cycle-attribution series as CSV, and -pprof serves
+// net/http/pprof plus expvar runtime metrics for profiling the
+// simulator itself.
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto-loadable trace_event JSON timeline to this file")
 	sampleEvery := flag.Int64("sample-every", 2000, "telemetry sampling interval in cycles")
 	flame := flag.Bool("flame", false, "print the flamegraph-style activity summary")
+	cpi := flag.Bool("cpi", false, "print the per-CE and per-phase CPI stack tables")
+	attrOut := flag.String("attr-out", "", "write the per-interval per-CE cycle-attribution time series to this CSV file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
 	faultRate := flag.Float64("fault-rate", 0, "mean injected faults per 10k cycles (0 disables fault injection)")
@@ -78,7 +82,7 @@ func main() {
 	// Telemetry is opt-in: without these flags the machine never builds
 	// a registry and the run pays nothing.
 	var sampler *telemetry.Sampler
-	if *metricsOut != "" || *traceOut != "" || *flame {
+	if *metricsOut != "" || *traceOut != "" || *flame || *cpi || *attrOut != "" {
 		sampler = m.NewSampler(sim.Cycle(*sampleEvery))
 	}
 
@@ -135,6 +139,27 @@ func main() {
 		if err := m.MachineFlame(sampler).Render(os.Stdout); err != nil {
 			fail(err)
 		}
+	}
+	if *cpi {
+		if err := m.CPIStack().Render(os.Stdout); err != nil {
+			fail(err)
+		}
+		if err := m.PhaseCPIStack(sampler).Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *attrOut != "" {
+		f, err := os.Create(*attrOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.WriteAttrCSV(f, sampler); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("attr: wrote per-interval attribution for %d CEs to %s\n", m.NumCEs(), *attrOut)
 	}
 	if *metricsOut != "" {
 		if err := os.WriteFile(*metricsOut, []byte(m.Registry().Dump()), 0o644); err != nil {

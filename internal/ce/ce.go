@@ -95,6 +95,13 @@ type inflightReq struct {
 // still in the ring.
 const staleTagCap = 32
 
+// parkMark is one pending reclassification of elided cycles: from cycle
+// at (inclusive) until the next tick, skipped spans charge bucket b.
+type parkMark struct {
+	at sim.Cycle
+	b  isa.Bucket
+}
+
 // lostReq records the pending request of an exhausted retry, for the
 // FaultReason diagnosis.
 type lostReq struct {
@@ -165,6 +172,31 @@ type CE struct {
 	// resumes its program.
 	OnSurrender func(p isa.Program)
 
+	// Acct is the cycle-accounting accumulator (DESIGN.md §4.8): every
+	// cycle of the CE's existence is charged to exactly one isa.Bucket,
+	// by Tick for executed cycles and by SkipCycles for elided spans, so
+	// bucket sums always equal elapsed cycles in every engine mode.
+	Acct isa.Acct
+
+	// parkAs classifies the cycles the engine may elide before the next
+	// tick, recorded from post-tick state: a skipped span's bucket is
+	// decided by the state the CE was left in at its last tick, not by
+	// the state at flush time — external stimulus between ticks either
+	// wakes the CE into a tick (a program assignment, an I/O
+	// completion), or splits the span with a parkMark (a check-stop or
+	// repair landing on a dormant CE), exactly as the naive engine's
+	// per-cycle ticks would classify it.
+	parkAs isa.Bucket
+
+	// parkMarks are stimulus-driven reclassifications pending since the
+	// last tick: from mark.at onward, elided cycles charge mark.b. A
+	// check-stop or repair can land on a dormant CE without provoking a
+	// tick (the CE still reports no next event), so the skip span that
+	// is eventually flushed covers cycles both before and after the
+	// stimulus; the marks split it at the exact cycles the naive
+	// engine's ticks would have switched buckets.
+	parkMarks []parkMark
+
 	// Counters.
 	Flops            int64
 	OpsDone          int64
@@ -199,6 +231,7 @@ func New(cfg Config, id, port, local int, fwd *network.Network, ch *cache.Cache,
 		pfu:     u,
 		route:   route,
 		nextTag: tagBase,
+		parkAs:  isa.AcctIdle, // pre-first-tick spans are idle
 	}
 }
 
@@ -257,23 +290,39 @@ func (c *CE) Idle() bool { return !c.checkStopped && c.prog == nil && c.cur == n
 // networks), then a held program is surrendered via OnSurrender and the
 // CE freezes until Repair. A check-stop on an already-stopped CE is a
 // no-op.
-func (c *CE) CheckStop() {
+func (c *CE) CheckStop(now sim.Cycle) {
 	if c.checkStopped {
 		return
 	}
 	c.checkStopped = true
 	c.CheckStops++
+	if c.cur == nil {
+		// At an instruction boundary the halt is effective immediately:
+		// cycles from now on are check-stop, even if the CE is dormant
+		// and never ticks before the repair. With an op in flight the
+		// drain keeps its own classification until the op retires.
+		c.markPark(now, isa.AcctCheckStop)
+	}
 	c.wake()
 }
 
 // Repair clears a check-stop: the CE becomes dispatchable again (and, if
 // it still holds a program because no rescheduler claimed it, resumes).
-func (c *CE) Repair() {
+func (c *CE) Repair(now sim.Cycle) {
 	if !c.checkStopped {
 		return
 	}
 	c.checkStopped = false
+	if c.cur == nil {
+		c.markPark(now, isa.AcctIdle)
+	}
 	c.wake()
+}
+
+// markPark records that elided cycles from now on charge bucket b; the
+// next tick supersedes it (post-tick state reclassifies directly).
+func (c *CE) markPark(now sim.Cycle, b isa.Bucket) {
+	c.parkMarks = append(c.parkMarks, parkMark{at: now, b: b})
 }
 
 // CheckStopped reports whether the CE is halted by a check-stop.
@@ -321,10 +370,36 @@ func (c *CE) NextEvent(now sim.Cycle) sim.Cycle {
 // NextEvent to now — so credit IdleCycles when no operation was in
 // flight. A program assigned during the span would have ended it at the
 // CE's next tick slot, so the whole span was genuinely idle.
+//
+// Cycle accounting charges the span to the bucket recorded at the last
+// tick (parkAs): skippable states — idle, check-stop freeze, compute
+// spans, vector startup, scalar/sync completion timers, I/O parks —
+// keep their classification constant until the next tick, so the whole
+// span lands where the naive engine's per-cycle ticks would have put
+// it.
 func (c *CE) SkipCycles(from, to sim.Cycle) {
 	if c.cur == nil {
 		c.IdleCycles += int64(to - from)
 	}
+	cursor, bucket := from, c.parkAs
+	kept := 0
+	for _, mk := range c.parkMarks {
+		if mk.at >= to {
+			// Applies to cycles this flush does not cover yet; keep it
+			// for the next span.
+			c.parkMarks[kept] = mk
+			kept++
+			continue
+		}
+		if mk.at > cursor {
+			c.Acct.Add(bucket, int64(mk.at-cursor))
+			cursor = mk.at
+		}
+		bucket = mk.b
+	}
+	c.parkMarks = c.parkMarks[:kept]
+	c.Acct.Add(bucket, int64(to-cursor))
+	c.parkAs = bucket
 }
 
 // Deliver accepts a reverse-network packet for this CE's port,
@@ -373,8 +448,18 @@ func (c *CE) forgetTag(tag uint64) {
 	}
 }
 
-// Tick advances the CE one cycle.
+// Tick advances the CE one cycle, charging the cycle to exactly one
+// accounting bucket and recording the classification of any span the
+// engine elides before the next tick.
 func (c *CE) Tick(now sim.Cycle) {
+	c.parkMarks = c.parkMarks[:0] // post-tick state supersedes pending marks
+	c.Acct.Add(c.tick(now), 1)
+	c.parkAs = c.parkBucket()
+}
+
+// tick is the per-cycle state machine; it returns the bucket this cycle
+// belongs to.
+func (c *CE) tick(now sim.Cycle) isa.Bucket {
 	if c.checkStopped && c.cur == nil {
 		// Instruction boundary under a check-stop: surrender a held
 		// program to the rescheduler (once), then freeze until Repair.
@@ -385,12 +470,12 @@ func (c *CE) Tick(now sim.Cycle) {
 			c.OnSurrender(p)
 		}
 		c.IdleCycles++
-		return
+		return isa.AcctCheckStop
 	}
 	if c.cur == nil {
 		if c.prog == nil {
 			c.IdleCycles++
-			return
+			return isa.AcctIdle
 		}
 		p := c.prog
 		op := p.Next()
@@ -404,27 +489,57 @@ func (c *CE) Tick(now sim.Cycle) {
 			}
 			c.FinishedAt = now
 			c.IdleCycles++
-			return
+			return isa.AcctDispatch // the cycle that discovers program end
 		}
 		c.start(op, now)
-		return
+		return isa.AcctDispatch
 	}
 	switch c.cur.Kind {
 	case isa.Compute:
 		if now >= c.finishAt {
 			c.complete(now, 0, true)
 		}
+		return isa.AcctBusy
 	case isa.Vector:
-		c.tickVector(now)
+		return c.tickVector(now)
 	case isa.Scalar:
-		c.tickScalar(now)
+		return c.tickScalar(now)
 	case isa.Sync:
-		c.tickSync(now)
+		return c.tickSync(now)
 	case isa.IO:
-		c.tickIO(now)
-	case isa.Prefetch:
-		// Completed the cycle after firing.
+		return c.tickIO(now)
+	default:
+		// isa.Prefetch: completed the cycle after firing. The op exists
+		// only to drive the PFU, so both its cycles are dispatch.
 		c.complete(now, 0, true)
+		return isa.AcctDispatch
+	}
+}
+
+// parkBucket classifies the cycles that may be elided between this tick
+// and the next: the skippable states are exactly those whose NextEvent
+// answer is in the future (or Never), and each keeps one bucket for the
+// whole span.
+func (c *CE) parkBucket() isa.Bucket {
+	if c.cur == nil {
+		if c.checkStopped {
+			return isa.AcctCheckStop
+		}
+		return isa.AcctIdle
+	}
+	switch c.cur.Kind {
+	case isa.Compute:
+		return isa.AcctBusy
+	case isa.Vector:
+		return isa.AcctVectorWait // only the startup fill is skippable
+	case isa.Scalar:
+		return isa.AcctScalarWait // posted-write / cache-ready timers
+	case isa.Sync:
+		return isa.AcctSyncWait // the SyncExtra completion timer
+	case isa.IO:
+		return isa.AcctIOPark
+	default:
+		return isa.AcctDispatch // Prefetch retires next tick, never skipped
 	}
 }
 
@@ -478,13 +593,18 @@ func (c *CE) startIO(op *isa.Op, now sim.Cycle) {
 // arrived, attributing the wait from the handle's cycle stamps. The
 // completion fires in the IP's tick slot (after the CE's), so the CE
 // observes it the following cycle identically in every engine mode.
-func (c *CE) tickIO(now sim.Cycle) {
+// Parked cycles run from the cycle after the dispatch tick through the
+// cycle the completion fires, which is exactly the handle's Wait() — so
+// per-CE AcctIOPark equals IOWaitCycles, the cross-check the
+// attribution tests assert.
+func (c *CE) tickIO(now sim.Cycle) isa.Bucket {
 	if !c.ioDone {
-		return // parked
+		return isa.AcctIOPark // parked
 	}
 	c.IOWaitCycles += int64(c.ioComp.Wait())
 	c.IOWords += c.ioComp.Words
 	c.complete(now, c.ioComp.Words, true)
+	return isa.AcctBusy
 }
 
 // complete finishes the current op: functional payload, callbacks, stats.
@@ -512,18 +632,23 @@ func (c *CE) newTag() uint64 {
 // tickVector advances a vector operation: consume the head of the
 // in-order element pipe (at most one per cycle), then issue the next
 // element request subject to the outstanding limit.
-func (c *CE) tickVector(now sim.Cycle) {
+//
+// Accounting: a cycle that consumes an element (or retires the op) is
+// busy regardless of how its issue half fared — progress beats waiting.
+// A cycle with no consumption is a prefetch wait when spinning on the
+// buffer's full/empty bit, and a vector wait otherwise (startup fill,
+// direct operand in flight, refused issue).
+func (c *CE) tickVector(now sim.Cycle) isa.Bucket {
 	op := c.cur
 	if now < c.startupEnd {
-		return
+		return isa.AcctVectorWait
 	}
 	if op.N == 0 {
 		c.complete(now, 0, true)
-		return
+		return isa.AcctBusy
 	}
 	if op.Write {
-		c.tickVectorStore(now)
-		return
+		return c.tickVectorStore(now)
 	}
 	// Consume. A failed Consume is the modeled spin-wait on the buffer
 	// slot's full/empty bit; the CE charges it as a memory stall.
@@ -551,7 +676,6 @@ func (c *CE) tickVector(now sim.Cycle) {
 			}
 		}
 	}
-	_ = consumed
 	// Issue (not needed for the prefetch path: the PFU issues).
 	if !op.UsePrefetch && c.vIssued < op.N && len(c.inflight) < c.cfg.MaxOutstanding {
 		addr := op.Base.Word + uint64(c.vIssued*op.Stride)
@@ -576,13 +700,23 @@ func (c *CE) tickVector(now sim.Cycle) {
 	}
 	if c.vDone >= op.N {
 		c.complete(now, 0, true)
+		return isa.AcctBusy
 	}
+	if consumed {
+		return isa.AcctBusy
+	}
+	if op.UsePrefetch {
+		return isa.AcctPrefetchWait
+	}
+	return isa.AcctVectorWait
 }
 
 // tickVectorStore issues one store element per cycle; stores are posted
-// and never wait for completion.
-func (c *CE) tickVectorStore(now sim.Cycle) {
+// and never wait for completion. An issued element (and the op's
+// retiring cycle) is busy; a refused issue is a vector wait.
+func (c *CE) tickVectorStore(now sim.Cycle) isa.Bucket {
 	op := c.cur
+	issued := false
 	addr := op.Base.Word + uint64(c.vIssued*op.Stride)
 	if op.Base.Space == isa.Global {
 		p := &network.Packet{Dst: c.route(addr), Src: c.Port, Words: 2,
@@ -590,6 +724,7 @@ func (c *CE) tickVectorStore(now sim.Cycle) {
 		if c.fwd.Offer(now, c.Port, p) {
 			c.vIssued++
 			c.Flops += int64(op.Flops)
+			issued = true
 		} else {
 			c.StallNet++
 		}
@@ -597,13 +732,19 @@ func (c *CE) tickVectorStore(now sim.Cycle) {
 		if _, ok := c.cache.Access(now, c.Local, addr, true); ok {
 			c.vIssued++
 			c.Flops += int64(op.Flops)
+			issued = true
 		} else {
 			c.StallMem++
 		}
 	}
 	if c.vIssued >= op.N {
 		c.complete(now, 0, true)
+		return isa.AcctBusy
 	}
+	if issued {
+		return isa.AcctBusy
+	}
+	return isa.AcctVectorWait
 }
 
 func (c *CE) startScalar(op *isa.Op, now sim.Cycle) {
@@ -649,23 +790,35 @@ func (c *CE) startScalar(op *isa.Op, now sim.Cycle) {
 	}
 }
 
-func (c *CE) tickScalar(now sim.Cycle) {
+// tickScalar drives the scalar state machine. Accounting: the retiring
+// cycle is busy; every other cycle is a scalar wait, except reply waits
+// after the first timeout reissue, which are recovery — the
+// request-layer backoff window (including a wedged read whose retries
+// are exhausted) is fault-recovery time, not ordinary memory latency.
+func (c *CE) tickScalar(now sim.Cycle) isa.Bucket {
 	switch {
 	case c.finishAt == -1: // structural retry
 		c.startScalar(c.cur, now)
+		return isa.AcctScalarWait
 	case c.finishAt == -2: // waiting on global reply
 		if c.replyArrived && now >= c.replyUsable {
 			c.complete(now, c.replyV, c.replyOK)
-		} else {
-			c.StallMem++
-			if c.cfg.ReadTimeout > 0 && !c.replyArrived && now >= c.reqRetryAt {
-				c.retryScalar(now)
-			}
+			return isa.AcctBusy
 		}
+		c.StallMem++
+		if c.cfg.ReadTimeout > 0 && !c.replyArrived && now >= c.reqRetryAt {
+			c.retryScalar(now)
+		}
+		if c.reqRetries > 0 {
+			return isa.AcctRecovery
+		}
+		return isa.AcctScalarWait
 	default:
 		if now >= c.finishAt {
 			c.complete(now, 0, true)
+			return isa.AcctBusy
 		}
+		return isa.AcctScalarWait
 	}
 }
 
@@ -724,19 +877,26 @@ func (c *CE) startSync(op *isa.Op, now sim.Cycle) {
 	c.finishAt = -2
 }
 
-func (c *CE) tickSync(now sim.Cycle) {
+// tickSync drives a global synchronization instruction. Accounting: the
+// retiring cycle is busy; everything else — injection retries, the
+// network round trip, the SyncExtra completion timer — is sync wait.
+func (c *CE) tickSync(now sim.Cycle) isa.Bucket {
 	switch {
 	case c.finishAt == -1:
 		c.startSync(c.cur, now)
+		return isa.AcctSyncWait
 	case c.finishAt == -2:
 		if c.replyArrived {
 			c.finishAt = now + c.cfg.SyncExtra
 		} else {
 			c.StallMem++
 		}
+		return isa.AcctSyncWait
 	default:
 		if now >= c.finishAt {
 			c.complete(now, c.replyV, c.replyOK)
+			return isa.AcctBusy
 		}
+		return isa.AcctSyncWait
 	}
 }

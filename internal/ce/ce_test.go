@@ -470,7 +470,7 @@ func TestCheckStopDrainsThenSurrenders(t *testing.T) {
 	r.ce.OnSurrender = func(p isa.Program) { surrendered = p }
 	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(50), isa.NewCompute(7)))
 	r.eng.Run(5)
-	r.ce.CheckStop()
+	r.ce.CheckStop(r.eng.Now())
 	if !r.ce.CheckStopped() || r.ce.Idle() {
 		t.Fatal("check-stopped CE should report CheckStopped and not Idle")
 	}
@@ -486,13 +486,13 @@ func TestCheckStopDrainsThenSurrenders(t *testing.T) {
 		t.Fatalf("OpsDone=%d Surrendered=%d CheckStops=%d, want 1,1,1",
 			r.ce.OpsDone, r.ce.Surrendered, r.ce.CheckStops)
 	}
-	r.ce.CheckStop() // no-op on an already-stopped CE
+	r.ce.CheckStop(r.eng.Now()) // no-op on an already-stopped CE
 	if r.ce.CheckStops != 1 {
 		t.Fatalf("repeated CheckStop bumped the counter to %d", r.ce.CheckStops)
 	}
 	// After repair the CE is dispatchable and can finish the surrendered
 	// remainder itself.
-	r.ce.Repair()
+	r.ce.Repair(r.eng.Now())
 	if !r.ce.Idle() {
 		t.Fatal("repaired CE not idle")
 	}
@@ -506,14 +506,64 @@ func TestCheckStopDrainsThenSurrenders(t *testing.T) {
 func TestCheckStopWithoutSurrenderFreezesUntilRepair(t *testing.T) {
 	r := newRig(t)
 	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(10)))
-	r.ce.CheckStop()
+	r.ce.CheckStop(r.eng.Now())
 	r.eng.Run(100)
 	if r.ce.OpsDone != 0 {
 		t.Fatalf("frozen CE executed %d ops", r.ce.OpsDone)
 	}
-	r.ce.Repair()
+	r.ce.Repair(r.eng.Now())
 	r.runToIdle(t)
 	if r.ce.OpsDone != 1 || r.ce.FinishedAt < 110 {
 		t.Fatalf("OpsDone=%d FinishedAt=%d, want 1 and >=110", r.ce.OpsDone, r.ce.FinishedAt)
+	}
+}
+
+// TestAcctComputeClassification pins the accounting of the simplest
+// program: one cycle of dispatch per op start, the compute span (retiring
+// cycle included) as busy, one dispatch cycle to discover program end,
+// idle for everything else — and the bucket totals conserve cycles.
+func TestAcctComputeClassification(t *testing.T) {
+	r := newRig(t)
+	r.ce.SetProgram(isa.NewSeq(isa.NewCompute(10)))
+	r.runToIdle(t)
+	r.eng.Run(50)
+	r.eng.Settle()
+	a := r.ce.Acct
+	if a.Total() != int64(r.eng.Now()) {
+		t.Fatalf("bucket sum %d != elapsed %d (buckets %v)", a.Total(), r.eng.Now(), a.Cycles)
+	}
+	if a.Cycles[isa.AcctBusy] != 10 {
+		t.Fatalf("busy = %d cycles for Compute(10), want 10", a.Cycles[isa.AcctBusy])
+	}
+	if a.Cycles[isa.AcctDispatch] != 2 {
+		t.Fatalf("dispatch = %d, want 2 (op start + program-end discovery)", a.Cycles[isa.AcctDispatch])
+	}
+	if got := a.Cycles[isa.AcctIdle]; got != int64(r.eng.Now())-12 {
+		t.Fatalf("idle = %d, want %d", got, int64(r.eng.Now())-12)
+	}
+}
+
+// TestAcctParkMarkSplitsSkippedSpan: check-stopping and repairing a
+// parked CE changes how its elided cycles must be classified, without
+// ever ticking it. The park marks recorded by CheckStop/Repair split the
+// deferred span so the frozen window lands in check_stop and the rest
+// stays idle — the same split the naive engine produces tick by tick.
+func TestAcctParkMarkSplitsSkippedSpan(t *testing.T) {
+	r := newRig(t)
+	r.eng.Run(10)
+	r.ce.CheckStop(r.eng.Now())
+	r.eng.Run(30) // frozen span [10,40): never ticked, engine skips it
+	r.ce.Repair(r.eng.Now())
+	r.eng.Run(20)
+	r.eng.Settle()
+	a := r.ce.Acct
+	if a.Total() != 60 {
+		t.Fatalf("bucket sum %d != elapsed 60 (buckets %v)", a.Total(), a.Cycles)
+	}
+	if got := a.Cycles[isa.AcctCheckStop]; got != 30 {
+		t.Fatalf("check_stop = %d, want 30 (the frozen window)", got)
+	}
+	if got := a.Cycles[isa.AcctIdle]; got != 30 {
+		t.Fatalf("idle = %d, want 30 (before the stop and after repair)", got)
 	}
 }

@@ -1,6 +1,9 @@
 package ce
 
-import "repro/internal/telemetry"
+import (
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
 
 // RegisterMetrics publishes the CE's counters under prefix (for example
 // "cluster0/ce3"). The exported fields stay the backing store — the
@@ -21,4 +24,12 @@ func (c *CE) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/io_wait_cycles", &c.IOWaitCycles)
 	reg.Counter(prefix+"/io_words", &c.IOWords)
 	reg.Gauge(prefix+"/finished_at", func() int64 { return int64(c.FinishedAt) })
+	// Cycle-accounting buckets (DESIGN.md §4.8). Registered as Counters
+	// so they join every fingerprint: the determinism, fuzz, and scale
+	// suites then enforce bit-identical attribution across engine modes
+	// for free. The "attr/" name prefix is what the trace exporter keys
+	// its per-CE counter tracks on.
+	for b := isa.Bucket(0); b < isa.NumBuckets; b++ {
+		reg.Counter(prefix+"/attr/"+b.String(), &c.Acct.Cycles[b])
+	}
 }

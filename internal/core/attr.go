@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// Machine-level views of the per-CE cycle accounting (DESIGN.md §4.8):
+// cumulative and per-phase CPI stacks for reports, and a per-interval
+// CSV export for offline analysis. All three read the same accumulators
+// the telemetry registry publishes — there is one source of truth for
+// where cycles went.
+
+// attrIndex returns, for every CE in assembly order, its registry label
+// and the per-bucket metric indices into Registry.Paths — the shared
+// lookup behind the interval-series views.
+func (m *Machine) attrIndex() (labels []string, cols [][]int) {
+	reg := m.Registry()
+	idx := map[string]int{}
+	for i, p := range reg.Paths() {
+		idx[p] = i
+	}
+	for cl, clu := range m.Clusters {
+		for i := range clu.CEs {
+			prefix := fmt.Sprintf("cluster%d/ce%d", cl, i)
+			row := make([]int, isa.NumBuckets)
+			for b := isa.Bucket(0); b < isa.NumBuckets; b++ {
+				j, ok := idx[prefix+"/attr/"+b.String()]
+				if !ok {
+					panic("core: attribution counter missing from registry: " + prefix)
+				}
+				row[b] = j
+			}
+			labels = append(labels, prefix)
+			cols = append(cols, row)
+		}
+	}
+	return labels, cols
+}
+
+// CPIStack returns the cumulative cycle-accounting breakdown: one row
+// per CE plus a machine-wide rollup. Deferred skip accounting is
+// settled first, so every row's cycle total equals the elapsed cycle
+// count exactly (the conservation invariant).
+func (m *Machine) CPIStack() *report.CPIStack {
+	m.Eng.Settle()
+	st := report.NewCPIStack(
+		fmt.Sprintf("CPI stack, %d cycles per CE", m.Eng.Now()), isa.AcctNames())
+	var total [isa.NumBuckets]int64
+	for cl, clu := range m.Clusters {
+		for i, c := range clu.CEs {
+			st.AddRow(fmt.Sprintf("cluster%d/ce%d", cl, i), c.Acct.Cycles[:])
+			for b, n := range c.Acct.Cycles {
+				total[b] += n
+			}
+		}
+	}
+	st.AddRow("machine", total[:])
+	if m.IOWait != nil && m.IOWait.WaitCycles > 0 {
+		st.AddNote(fmt.Sprintf("io_park detail: %d of %d parked cycles were formatted transfers",
+			m.IOWait.WaitCyclesFormatted, m.IOWait.WaitCycles))
+	}
+	return st
+}
+
+// PhaseCPIStack aggregates the sampler's interval series into one
+// machine-wide CPI-stack row per workload phase (in first-appearance
+// order; intervals outside any phase roll up under "(no phase)"). The
+// sampler must observe this machine's registry — hand Options.Phases a
+// sampler from Machine.NewSampler.
+func (m *Machine) PhaseCPIStack(s *telemetry.Sampler) *report.CPIStack {
+	_, cols := m.attrIndex()
+	ivs := s.Intervals()
+	var order []string
+	acc := map[string][]int64{}
+	for _, iv := range ivs {
+		ph := iv.Phase
+		if ph == "" {
+			ph = "(no phase)"
+		}
+		row, ok := acc[ph]
+		if !ok {
+			row = make([]int64, isa.NumBuckets)
+			acc[ph] = row
+			order = append(order, ph)
+		}
+		for _, ceCols := range cols {
+			for b, j := range ceCols {
+				row[b] += iv.Delta[j]
+			}
+		}
+	}
+	st := report.NewCPIStack(
+		fmt.Sprintf("Per-phase CPI stack, all CEs over %d intervals", len(ivs)), isa.AcctNames())
+	for _, ph := range order {
+		st.AddRow(ph, acc[ph])
+	}
+	return st
+}
+
+// WriteAttrCSV writes the per-interval, per-CE attribution time series
+// as CSV: one row per (interval, CE) with the cycle delta of every
+// bucket, stamped with the interval's span and active workload phase.
+// The header is from,to,phase,unit followed by the bucket names in
+// isa.Bucket order.
+func (m *Machine) WriteAttrCSV(w io.Writer, s *telemetry.Sampler) error {
+	labels, cols := m.attrIndex()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "from,to,phase,unit,%s\n", strings.Join(isa.AcctNames(), ","))
+	for _, iv := range s.Intervals() {
+		for u, label := range labels {
+			fmt.Fprintf(bw, "%d,%d,%s,%s", iv.From, iv.To, iv.Phase, label)
+			for _, j := range cols[u] {
+				fmt.Fprintf(bw, ",%d", iv.Delta[j])
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/isa"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -67,9 +69,11 @@ func (m *Machine) NewSampler(every sim.Cycle) *telemetry.Sampler {
 }
 
 // MachineFlame renders the sampler's interval series as a compact text
-// activity summary: one row per CE (busy fraction), one per network
-// (words moved against the one-word-per-port-per-cycle injection bound)
-// and one for the global memory (aggregate module busy fraction).
+// activity summary: one coded row per CE (each cell names the interval's
+// dominant cycle-accounting bucket — replacing the coarse busy-fraction
+// shading the CEs had before the attribution layer), one shaded row per
+// network (words moved against the one-word-per-port-per-cycle injection
+// bound) and one for the global memory (aggregate module busy fraction).
 func (m *Machine) MachineFlame(s *telemetry.Sampler) *report.Flame {
 	reg := s.Registry()
 	idx := map[string]int{}
@@ -88,14 +92,17 @@ func (m *Machine) MachineFlame(s *telemetry.Sampler) *report.Flame {
 	for cl, clu := range m.Clusters {
 		for i := range clu.CEs {
 			prefix := fmt.Sprintf("cluster%d/ce%d", cl, i)
-			cells := make([]float64, len(ivs))
+			codes := make([]byte, len(ivs))
 			for k, iv := range ivs {
-				notBusy := delta(iv, prefix+"/idle_cycles") +
-					delta(iv, prefix+"/stall_mem") +
-					delta(iv, prefix+"/stall_net")
-				cells[k] = 1 - float64(notBusy)/float64(iv.Cycles())
+				best, bestN := isa.AcctIdle, int64(-1)
+				for b := isa.Bucket(0); b < isa.NumBuckets; b++ {
+					if d := delta(iv, prefix+"/attr/"+b.String()); d > bestN {
+						best, bestN = b, d
+					}
+				}
+				codes[k] = best.Code()
 			}
-			f.AddRow(prefix, cells)
+			f.AddCodedRow(prefix, codes)
 		}
 	}
 	for _, net := range []struct {
@@ -123,5 +130,13 @@ func (m *Machine) MachineFlame(s *telemetry.Sampler) *report.Flame {
 		f.AddNote(fmt.Sprintf("cycles %d..%d, %d cycles per cell (last cell may be shorter)",
 			ivs[0].From, ivs[len(ivs)-1].To, ivs[0].Cycles()))
 	}
+	var legend strings.Builder
+	for b := isa.Bucket(0); b < isa.NumBuckets; b++ {
+		if b > 0 {
+			legend.WriteByte(' ')
+		}
+		fmt.Fprintf(&legend, "'%c'=%s", b.Code(), b)
+	}
+	f.AddNote("CE cells mark the interval's dominant cycle bucket: " + legend.String())
 	return f
 }

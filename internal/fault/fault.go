@@ -189,8 +189,8 @@ func Droppable(p *network.Packet) bool {
 // StoppableCE is the slice of the CE the injector drives for check-stop
 // faults; ce.CE satisfies it.
 type StoppableCE interface {
-	CheckStop()
-	Repair()
+	CheckStop(now sim.Cycle)
+	Repair(now sim.Cycle)
 	CheckStopped() bool
 }
 
@@ -295,7 +295,7 @@ func (inj *Injector) Tick(now sim.Cycle) {
 	kept := inj.repairs[:0]
 	for _, r := range inj.repairs {
 		if r.at <= now {
-			inj.ces[r.ce].Repair()
+			inj.ces[r.ce].Repair(now)
 			inj.Repairs++
 		} else {
 			kept = append(kept, r)
@@ -395,7 +395,7 @@ func (inj *Injector) injectCheckStop(now sim.Cycle) {
 		inj.NoTarget++
 		return
 	}
-	inj.ces[c].CheckStop()
+	inj.ces[c].CheckStop(now)
 	inj.repairs = append(inj.repairs, repairTimer{ce: c, at: now + inj.cfg.RepairWindow})
 	inj.CheckStops++
 	inj.Injected++

@@ -17,7 +17,7 @@ type stopCE struct {
 	eventLog []string
 }
 
-func (s *stopCE) CheckStop() {
+func (s *stopCE) CheckStop(now sim.Cycle) {
 	if s.stopped {
 		return
 	}
@@ -25,7 +25,7 @@ func (s *stopCE) CheckStop() {
 	s.stops++
 	s.eventLog = append(s.eventLog, "stop")
 }
-func (s *stopCE) Repair() {
+func (s *stopCE) Repair(now sim.Cycle) {
 	if !s.stopped {
 		return
 	}

@@ -1,0 +1,117 @@
+package isa
+
+// Cycle accounting (DESIGN.md §4.8): every cycle of a CE's existence is
+// attributed to exactly one Bucket, so per-CE bucket sums always equal
+// elapsed cycles — the conservation invariant the attribution tests
+// assert. The bucket vocabulary lives here in the ISA layer because the
+// classification is fundamentally about op kinds and their stall
+// reasons: which micro-operation class held the CE, and whether the
+// cycle made progress or waited.
+
+// Bucket classifies one CE cycle.
+type Bucket uint8
+
+// The cycle-accounting buckets. Exactly one is charged per cycle:
+// progress beats waiting (a cycle that consumes a vector element is
+// busy even if the same cycle also failed to issue the next request),
+// and every op charges its fetch cycle to dispatch and its retiring
+// cycle to busy.
+const (
+	// AcctBusy: the CE made architected progress — compute spans,
+	// vector elements consumed or store elements issued, and the
+	// retiring cycle of every operation.
+	AcctBusy Bucket = iota
+	// AcctDispatch: operation fetch/start overhead — the cycle that
+	// pulls the next op from the program (including the cycle that
+	// discovers the program's end) and both cycles of a Prefetch
+	// arm/fire op, which exists only to drive the PFU.
+	AcctDispatch
+	// AcctScalarWait: a scalar access in flight — global read replies,
+	// cache-ready timers, posted-write drains, structural retries.
+	AcctScalarWait
+	// AcctVectorWait: a vector stream stalled — startup pipeline fill,
+	// direct (non-prefetched) operand waits, refused element issues.
+	AcctVectorWait
+	// AcctPrefetchWait: a vector consume spinning on the prefetch
+	// buffer's full/empty bit (the PFU has not filled the slot yet).
+	AcctPrefetchWait
+	// AcctSyncWait: a global synchronization instruction in flight —
+	// network round trip, retries, and the CE-side SyncExtra cycles.
+	AcctSyncWait
+	// AcctIOPark: the program is parked on an outstanding I/O transfer
+	// (isa.IO through Xylem's park table to the cluster IP). Per
+	// request this equals the handle's submit-to-completion wait, so
+	// per-CE AcctIOPark totals cross-check xylem's IOWait accounting
+	// exactly.
+	AcctIOPark
+	// AcctCheckStop: the CE is halted by an injected check-stop —
+	// the drain boundary, the surrender handoff, and every frozen
+	// cycle until Repair.
+	AcctCheckStop
+	// AcctRecovery: fault-recovery wait — cycles a global scalar read
+	// spends waiting after its first timeout reissue (the request
+	// layer's retry/backoff window, including a wedged read whose
+	// retries are exhausted).
+	AcctRecovery
+	// AcctIdle: no program and no operation in flight.
+	AcctIdle
+
+	// NumBuckets bounds the bucket space; Acct arrays index by Bucket.
+	NumBuckets
+)
+
+// acctNames are the stable metric/CSV names, indexed by Bucket.
+var acctNames = [NumBuckets]string{
+	"busy", "dispatch", "scalar_wait", "vector_wait", "prefetch_wait",
+	"sync_wait", "io_park", "check_stop", "recovery", "idle",
+}
+
+// acctCodes are one-byte cell codes for breakdown summaries (the flame
+// view): '#' marks busy-dominant intervals, '.' idle, letters the stall
+// class.
+var acctCodes = [NumBuckets]byte{'#', 'd', 's', 'v', 'p', 'y', 'i', 'k', 'r', '.'}
+
+// String names the bucket (metric-path style, e.g. "scalar_wait").
+func (b Bucket) String() string {
+	if b >= NumBuckets {
+		return "unknown"
+	}
+	return acctNames[b]
+}
+
+// Code is the bucket's one-byte cell code for breakdown summaries.
+func (b Bucket) Code() byte {
+	if b >= NumBuckets {
+		return '?'
+	}
+	return acctCodes[b]
+}
+
+// AcctNames returns the bucket names in Bucket order (the column order
+// of every CPI-stack exhibit).
+func AcctNames() []string {
+	out := make([]string, NumBuckets)
+	copy(out, acctNames[:])
+	return out
+}
+
+// Acct is a cycle-accounting accumulator: one counter per bucket. The
+// zero value is ready to use. It is exported as plain int64 fields so
+// the telemetry registry can read it through closures with the fast
+// path untouched, like every other architected counter.
+type Acct struct {
+	Cycles [NumBuckets]int64
+}
+
+// Add charges n cycles to bucket b.
+func (a *Acct) Add(b Bucket, n int64) { a.Cycles[b] += n }
+
+// Total is the sum over all buckets — elapsed cycles, when the
+// conservation invariant holds.
+func (a *Acct) Total() int64 {
+	var t int64
+	for _, c := range a.Cycles {
+		t += c
+	}
+	return t
+}

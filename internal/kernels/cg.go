@@ -143,6 +143,26 @@ func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Opti
 		pr = perfmon.AttachPrefetch(m.CE(0).PFU())
 	}
 
+	// Solver-phase marks for the per-phase CPI stacks: CE 0's generator
+	// is pulled exactly when its instruction stream crosses a
+	// barrier-separated phase boundary (the queue drains only after its
+	// barrier episode retires), so marking from there stamps the
+	// boundaries without touching simulated behaviour. All CEs cross
+	// together — the barriers see to that — so one marker CE suffices.
+	curPhase := ""
+	markPhase := func(ceID int, name string) {
+		if ceID != 0 || rt.Phases == nil {
+			return
+		}
+		if curPhase != "" {
+			rt.Phases.PhaseEnd(curPhase)
+		}
+		if name != "" {
+			rt.Phases.PhaseStart(name)
+		}
+		curPhase = name
+	}
+
 	seg := n / nces
 	for id := 0; id < nces; id++ {
 		ceID := id
@@ -151,21 +171,25 @@ func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Opti
 		phase := 0
 		g := isa.NewGen(func(g *isa.Gen) bool {
 			if iter >= iters {
+				markPhase(ceID, "")
 				return false
 			}
 			switch phase {
 			case 0:
+				markPhase(ceID, "matvec")
 				emitCGMatvecPhase(g, p, usePrefetch, lo, hi, pB, qB, partPQB, ceID,
 					pv, q, partialsPQ)
 				bar.Emit(g)
 				phase = 1
 			case 1:
+				markPhase(ceID, "update")
 				sc := &scal[ceID]
 				emitCGUpdatePhase(g, usePrefetch, lo, hi, nces, xB, rB, qB, pB, partPQB, partRRB, ceID,
 					x, r, q, pv, partialsPQ, partialsRR, &sc.alpha, &sc.rho, &sc.rhoNew)
 				bar.Emit(g)
 				phase = 2
 			case 2:
+				markPhase(ceID, "direction")
 				sc := &scal[ceID]
 				emitCGDirectionPhase(g, usePrefetch, lo, hi, nces, rB, pB, partRRB, ceID,
 					r, pv, partialsRR, &sc.beta, &sc.rho, &sc.rhoNew)

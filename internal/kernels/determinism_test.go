@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cedarfort"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/sim"
 )
 
@@ -45,6 +46,11 @@ func fingerprint(m *core.Machine) string {
 			c.ID, u.Prefetches, u.Issued, u.PageCrossings, u.StallCycles)
 		fmt.Fprintf(&b, "ceio%d rq=%d wait=%d words=%d\n",
 			c.ID, c.IORequests, c.IOWaitCycles, c.IOWords)
+		fmt.Fprintf(&b, "attr%d", c.ID)
+		for bk := isa.Bucket(0); bk < isa.NumBuckets; bk++ {
+			fmt.Fprintf(&b, " %s=%d", bk, c.Acct.Cycles[bk])
+		}
+		b.WriteString("\n")
 	}
 	for i, clu := range m.Clusters {
 		ip := clu.IPs

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// CPIStack renders cycle-accounting breakdowns (DESIGN.md §4.8): one row
+// per unit — a CE, a workload phase, a machine rollup — showing the
+// unit's total cycles and the percentage share of each accounting
+// bucket. The bucket vocabulary is the caller's (isa.AcctNames for the
+// CE profiler), so the renderer stays free of model dependencies.
+type CPIStack struct {
+	Title   string
+	buckets []string
+	rows    []cpiRow
+	notes   []string
+}
+
+type cpiRow struct {
+	label  string
+	cycles []int64
+}
+
+// NewCPIStack returns an empty breakdown over the given bucket names
+// (the column order).
+func NewCPIStack(title string, buckets []string) *CPIStack {
+	return &CPIStack{Title: title, buckets: buckets}
+}
+
+// AddRow appends one unit's bucket cycle counts; len(cycles) must match
+// the bucket vocabulary.
+func (s *CPIStack) AddRow(label string, cycles []int64) {
+	if len(cycles) != len(s.buckets) {
+		panic(fmt.Sprintf("report: CPI row of %d buckets in a %d-bucket stack", len(cycles), len(s.buckets)))
+	}
+	row := cpiRow{label: label, cycles: make([]int64, len(cycles))}
+	copy(row.cycles, cycles)
+	s.rows = append(s.rows, row)
+}
+
+// AddNote appends a footnote line rendered under the stack.
+func (s *CPIStack) AddNote(note string) { s.notes = append(s.notes, note) }
+
+// Rows reports the number of data rows.
+func (s *CPIStack) Rows() int { return len(s.rows) }
+
+// pctCell formats a bucket's share of total: "-" for an empty bucket,
+// one decimal otherwise so sub-percent stalls stay visible.
+func pctCell(cycles, total int64) string {
+	if cycles == 0 || total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(cycles)/float64(total))
+}
+
+// Render writes the breakdown as a fixed-width table, omitting bucket
+// columns that are zero in every row (a non-faulted run never shows the
+// fault buckets).
+func (s *CPIStack) Render(w io.Writer) error {
+	used := make([]bool, len(s.buckets))
+	for _, r := range s.rows {
+		for i, c := range r.cycles {
+			if c != 0 {
+				used[i] = true
+			}
+		}
+	}
+	headers := []string{"unit", "cycles"}
+	for i, b := range s.buckets {
+		if used[i] {
+			headers = append(headers, b)
+		}
+	}
+	t := NewTable(s.Title, headers...)
+	for _, r := range s.rows {
+		var total int64
+		for _, c := range r.cycles {
+			total += c
+		}
+		cells := []string{r.label, fmt.Sprintf("%d", total)}
+		for i, c := range r.cycles {
+			if used[i] {
+				cells = append(cells, pctCell(c, total))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	for _, n := range s.notes {
+		t.AddNote(n)
+	}
+	return t.Render(w)
+}

@@ -22,6 +22,7 @@ type Flame struct {
 type flameRow struct {
 	label string
 	cells []float64
+	codes []byte // non-nil: pre-classified cell codes instead of shades
 }
 
 // NewFlame returns an empty flame summary.
@@ -31,6 +32,14 @@ func NewFlame(title string) *Flame { return &Flame{Title: title} }
 // (clamped at render time), one per interval.
 func (f *Flame) AddRow(label string, cells []float64) {
 	f.rows = append(f.rows, flameRow{label: label, cells: cells})
+}
+
+// AddCodedRow appends a row whose cells are pre-classified one-byte
+// codes rather than shaded utilizations — the per-CE stall-breakdown
+// view, where each cell names the interval's dominant cycle-accounting
+// bucket (isa.Bucket.Code).
+func (f *Flame) AddCodedRow(label string, codes []byte) {
+	f.rows = append(f.rows, flameRow{label: label, codes: codes})
 }
 
 // AddNote appends a footnote line rendered under the summary.
@@ -66,8 +75,12 @@ func (f *Flame) Render(w io.Writer) error {
 	}
 	for _, r := range f.rows {
 		b.WriteString(fmt.Sprintf("%-*s |", width, r.label))
-		for _, c := range r.cells {
-			b.WriteByte(shade(c))
+		if r.codes != nil {
+			b.Write(r.codes)
+		} else {
+			for _, c := range r.cells {
+				b.WriteByte(shade(c))
+			}
 		}
 		b.WriteString("|\n")
 	}

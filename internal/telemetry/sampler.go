@@ -161,6 +161,12 @@ type Interval struct {
 	// Delta holds, per metric (parallel to Registry.Paths), the counter
 	// increase over the interval; for gauges it is the level change.
 	Delta []int64
+	// Phase names the innermost workload phase active as the interval
+	// began ("" outside any phase). Populated by Intervals from the
+	// "name:start"/"name:end" marks; an interval straddling a boundary
+	// keeps the phase of its From edge — the mark itself is label-only,
+	// so the bracketing samples carry the counters.
+	Phase string
 }
 
 // Cycles is the interval length.
@@ -168,12 +174,33 @@ func (iv Interval) Cycles() sim.Cycle { return iv.To - iv.From }
 
 // Intervals derives per-interval deltas between consecutive full
 // snapshots, skipping label-only marks and zero-length intervals (a
-// phase boundary coinciding with a periodic sample).
+// phase boundary coinciding with a periodic sample). Each interval is
+// stamped with the workload phase active at its From edge, maintained
+// as a stack over the ":start"/":end" marks so nested phases attribute
+// to the innermost.
 func (s *Sampler) Intervals() []Interval {
 	var out []Interval
 	prev := (*Sample)(nil)
+	var stack []string
+	prevPhase := ""
+	top := func() string {
+		if len(stack) == 0 {
+			return ""
+		}
+		return stack[len(stack)-1]
+	}
 	for i := range s.samples {
 		cur := &s.samples[i]
+		if name, ok := strings.CutSuffix(cur.Label, ":start"); ok {
+			stack = append(stack, name)
+		} else if name, ok := strings.CutSuffix(cur.Label, ":end"); ok {
+			for n := len(stack) - 1; n >= 0; n-- {
+				if stack[n] == name {
+					stack = stack[:n]
+					break
+				}
+			}
+		}
 		if cur.Values == nil {
 			continue
 		}
@@ -182,9 +209,10 @@ func (s *Sampler) Intervals() []Interval {
 			for j := range d {
 				d[j] = cur.Values[j] - prev.Values[j]
 			}
-			out = append(out, Interval{From: prev.Cycle, To: cur.Cycle, Delta: d})
+			out = append(out, Interval{From: prev.Cycle, To: cur.Cycle, Delta: d, Phase: prevPhase})
 		}
 		prev = cur
+		prevPhase = top()
 	}
 	return out
 }

@@ -206,3 +206,36 @@ func TestSampleDepthLimit(t *testing.T) {
 		t.Fatalf("Dropped = %d, want 45", s.Dropped)
 	}
 }
+
+// TestIntervalPhaseStamping: each interval carries the innermost phase
+// active at its From edge. A mark landing mid-interval changes only the
+// intervals that follow, and nested phases attribute to the inner name
+// until it ends.
+func TestIntervalPhaseStamping(t *testing.T) {
+	eng, _, s := rig(false, 100, 10)
+	eng.Register("marker", sim.ComponentFunc(func(now sim.Cycle) {
+		switch now {
+		case 15:
+			s.PhaseStart("outer")
+		case 35:
+			s.PhaseStart("inner")
+		case 55:
+			s.PhaseEnd("inner")
+		case 75:
+			s.PhaseEnd("outer")
+		}
+	}))
+	eng.Run(100)
+	s.Final()
+	ivs := s.Intervals()
+	want := []string{"", "", "outer", "outer", "inner", "inner", "outer", "outer", "", ""}
+	if len(ivs) != len(want) {
+		t.Fatalf("got %d intervals, want %d", len(ivs), len(want))
+	}
+	for i, w := range want {
+		if ivs[i].Phase != w {
+			t.Fatalf("interval %d [%d,%d) phase = %q, want %q",
+				i, ivs[i].From, ivs[i].To, ivs[i].Phase, w)
+		}
+	}
+}

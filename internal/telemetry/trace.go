@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -105,9 +106,11 @@ func (l *traceLayout) place(process, thread string) (pid, tid int) {
 // (ce3, pfu0, fwd, mod7, ...), so every registered component owns one
 // timeline row. Per sampling interval each row gets one complete ("X")
 // slice whose args carry the row's non-zero counter deltas; gauges
-// additionally emit counter-track ("C") events at every sample; phase
-// boundaries appear as global instants on a synthetic workload/phases
-// row, and perfmon events as instants on perfmon/tracer.
+// additionally emit counter-track ("C") events at every sample, as do
+// the cycle-accounting "attr/" counters (carrying per-interval deltas,
+// so each CE row reads as a stacked CPI chart); phase boundaries appear
+// as global instants on a synthetic workload/phases row, and perfmon
+// events as instants on perfmon/tracer.
 func WriteTrace(w io.Writer, s *Sampler, events []Event) error {
 	reg := s.Registry()
 	paths := reg.Paths()
@@ -188,6 +191,27 @@ func WriteTrace(w io.Writer, s *Sampler, events []Event) error {
 				Name: coords[j].name, Ph: "C", Pid: coords[j].pid, Tid: coords[j].tid,
 				Ts:   usec(smp.Cycle),
 				Args: map[string]any{"value": smp.Values[j]},
+			})
+		}
+	}
+
+	// Cycle-accounting buckets ("attr/..." counters, DESIGN.md §4.8) as
+	// per-interval-rate counter tracks: each snapshot's event carries the
+	// bucket's delta over the interval that ends there (0 at the first),
+	// so every CE row gets a stacked CPI view alongside its slices.
+	for i, smp := range snaps {
+		for j := range paths {
+			if kinds[j] != Counter || !strings.HasPrefix(coords[j].name, "attr/") {
+				continue
+			}
+			var d int64
+			if i > 0 {
+				d = smp.Values[j] - snaps[i-1].Values[j]
+			}
+			evs = append(evs, traceEvent{
+				Name: coords[j].name, Ph: "C", Pid: coords[j].pid, Tid: coords[j].tid,
+				Ts:   usec(smp.Cycle),
+				Args: map[string]any{"value": d},
 			})
 		}
 	}

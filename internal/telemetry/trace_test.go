@@ -26,6 +26,9 @@ func traceRig(t *testing.T) []byte {
 	reg := NewRegistry()
 	reg.Counter("cluster0/ce0/ops", &w.Ops)
 	reg.Counter("cluster0/ce0/idle_cycles", &w.Idle)
+	// A cycle-accounting bucket: "attr/" counters get per-interval-rate
+	// counter tracks in addition to the slice args.
+	reg.Counter("cluster0/ce0/attr/busy", &w.Ops)
 	reg.CounterFunc("cluster0/pfu0/issued", func() int64 { return w.Ops / 2 })
 	reg.Gauge("net/fwd/in_flight", func() int64 { return w.Ops % 3 })
 	var skipped int64
@@ -133,9 +136,11 @@ func TestWriteTraceStructure(t *testing.T) {
 		}
 	}
 
-	// The phase mark and the perfmon event appear as instants; slices and
-	// gauge tracks exist; a diagnostic never becomes a slice or track.
-	var sawMark, sawPerfmon, sawSlice, sawGauge bool
+	// The phase mark and the perfmon event appear as instants; slices,
+	// gauge tracks and attribution tracks exist; a diagnostic never
+	// becomes a slice or track.
+	var sawMark, sawPerfmon, sawSlice, sawGauge, sawAttr bool
+	var attrFirst *int64
 	for _, e := range tf.TraceEvents {
 		switch {
 		case e.Ph == "i" && e.Name == "barrier:start":
@@ -150,6 +155,12 @@ func TestWriteTraceStructure(t *testing.T) {
 			if _, leak := e.Args["skipped_ticks"]; leak {
 				t.Fatal("diagnostic leaked into a slice's args")
 			}
+		case e.Ph == "C" && e.Name == "attr/busy":
+			sawAttr = true
+			if attrFirst == nil {
+				v := int64(e.Args["value"].(float64))
+				attrFirst = &v
+			}
 		case e.Ph == "C":
 			sawGauge = true
 			if e.Name != "in_flight" {
@@ -157,8 +168,13 @@ func TestWriteTraceStructure(t *testing.T) {
 			}
 		}
 	}
-	if !sawMark || !sawPerfmon || !sawSlice || !sawGauge {
-		t.Fatalf("missing event kinds: mark=%v perfmon=%v slice=%v gauge=%v",
-			sawMark, sawPerfmon, sawSlice, sawGauge)
+	if !sawMark || !sawPerfmon || !sawSlice || !sawGauge || !sawAttr {
+		t.Fatalf("missing event kinds: mark=%v perfmon=%v slice=%v gauge=%v attr=%v",
+			sawMark, sawPerfmon, sawSlice, sawGauge, sawAttr)
+	}
+	// Attribution tracks carry per-interval deltas: the first snapshot
+	// has no preceding interval, so its value must be 0.
+	if attrFirst == nil || *attrFirst != 0 {
+		t.Fatalf("first attr/busy track value = %v, want 0", attrFirst)
 	}
 }

@@ -53,9 +53,14 @@ type IOWait struct {
 
 	// Parks counts programs blocked; Completions redispatches;
 	// WaitCycles the summed submit-to-completion latency.
-	Parks       int64
-	Completions int64
-	WaitCycles  int64
+	// WaitCyclesFormatted is the share of WaitCycles spent on formatted
+	// transfers — the split the CPI-stack io_park cross-check uses to
+	// tell conversion-bound waits (BDNA's trajectory writes) from raw
+	// streaming (MG3D's trace reads).
+	Parks               int64
+	Completions         int64
+	WaitCycles          int64
+	WaitCyclesFormatted int64
 }
 
 // NewIOWait returns an empty park table.
@@ -79,6 +84,9 @@ func (w *IOWait) Park(now sim.Cycle, dev IODevice, words int64, formatted bool, 
 		}
 		w.Completions++
 		w.WaitCycles += int64(comp.Wait())
+		if comp.Formatted {
+			w.WaitCyclesFormatted += int64(comp.Wait())
+		}
 		if resume != nil {
 			resume(comp)
 		}
@@ -120,5 +128,6 @@ func (w *IOWait) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/parks", &w.Parks)
 	reg.Counter(prefix+"/completions", &w.Completions)
 	reg.Counter(prefix+"/wait_cycles", &w.WaitCycles)
+	reg.Counter(prefix+"/wait_cycles_formatted", &w.WaitCyclesFormatted)
 	reg.Gauge(prefix+"/parked", func() int64 { return int64(w.Parked()) })
 }
