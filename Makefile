@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-fault race-io race-attr bench bench-engine bench-telemetry fuzz-equivalence cover ci
+.PHONY: all build test vet race race-fault race-io race-attr race-parallel bench bench-engine bench-telemetry fuzz-equivalence cover ci
 
 all: ci
 
@@ -24,18 +24,22 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
-# Naive vs quiescent vs wake-cached engine on the DOALL-startup-heavy
-# workload; the ns/op ratios are the fast paths' wall-clock wins
-# (results are bit-identical across all three sub-benchmarks). The
-# parsed ns/op values land in BENCH_engine.json for pipelines to diff,
-# and the target fails if wake-cached ns/op regresses more than 10%
-# versus the committed BENCH_engine.json baseline (the check is skipped
-# when no baseline exists yet).
+# Naive vs quiescent vs wake-cached vs parallel engine on the
+# DOALL-startup-heavy workload, plus the cluster-parallel benchmark
+# (compute-dominated, 4- and 16-cluster); the ns/op ratios are the fast
+# paths' wall-clock wins (results are bit-identical across every
+# sub-benchmark). All min-of-3 ns/op values land in BENCH_engine.json
+# for pipelines to diff. Gates: wake-cached ns/op must not regress more
+# than 10% versus the committed baseline (skipped when none exists),
+# and on hosts with 2+ CPUs parallel-4cl must beat wake-cached-4cl by
+# at least 1.8x (on a single CPU the pool never forks, so the speedup
+# is unmeasurable and the gate is skipped — the rows are still
+# emitted).
 bench-engine:
 	@base=$$(sed -n 's/.*"wake-cached_ns_per_op": *\([0-9]*\).*/\1/p' BENCH_engine.json 2>/dev/null); \
-	$(GO) test -run NONE -bench BenchmarkEngineQuiescence -benchtime 10x -count 3 . | tee bench-engine.out && \
+	$(GO) test -run NONE -bench 'BenchmarkEngineQuiescence|BenchmarkEngineParallel' -benchtime 10x -count 3 . | tee bench-engine.out && \
 	awk 'BEGIN { n = 0 } \
-	  $$1 ~ /^BenchmarkEngineQuiescence\// { \
+	  $$1 ~ /^BenchmarkEngine(Quiescence|Parallel)\// { \
 	    split($$1, a, "/"); sub(/-[0-9]+$$/, "", a[2]); \
 	    if (a[2] in idx) { i = idx[a[2]]; if ($$3 + 0 < ns[i] + 0) ns[i] = $$3 } \
 	    else { idx[a[2]] = n; name[n] = a[2]; ns[n] = $$3; n++ } } \
@@ -53,6 +57,17 @@ bench-engine:
 	  exit 1; \
 	elif [ -n "$$base" ]; then \
 	  echo "bench-engine: wake-cached $$new ns/op within 10% of baseline $$base ns/op"; \
+	fi; \
+	wc4=$$(sed -n 's/.*"wake-cached-4cl_ns_per_op": *\([0-9]*\).*/\1/p' BENCH_engine.json); \
+	par4=$$(sed -n 's/.*"parallel-4cl_ns_per_op": *\([0-9]*\).*/\1/p' BENCH_engine.json); \
+	ncpu=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$ncpu" -lt 2 ]; then \
+	  echo "bench-engine: single-CPU host, parallel >=1.8x gate skipped (parallel-4cl $$par4 ns/op vs wake-cached-4cl $$wc4 ns/op measures bookkeeping only)"; \
+	elif [ -n "$$wc4" ] && [ -n "$$par4" ] && [ $$(( par4 * 18 )) -gt $$(( wc4 * 10 )) ]; then \
+	  echo "bench-engine: parallel-4cl $$par4 ns/op is not >=1.8x faster than wake-cached-4cl $$wc4 ns/op" >&2; \
+	  exit 1; \
+	else \
+	  echo "bench-engine: parallel-4cl $$par4 ns/op vs wake-cached-4cl $$wc4 ns/op (>=1.8x gate passed)"; \
 	fi
 
 # Replays the seeded randomized stimulus schedule (the seed is pinned in
@@ -104,6 +119,15 @@ bench-telemetry:
 	  echo "bench-telemetry: sampling-on $$new ns/op within 10% of baseline $$base ns/op"; \
 	fi
 
+# Race pass focused on the cluster-parallel engine: the sim package's
+# fork/join, worker-pool and async-wake surfaces (the pool tests force
+# GOMAXPROCS up so the goroutines really interleave even on one CPU),
+# plus the kernel determinism suites that drive ModeWakeCachedParallel
+# through the full machine.
+race-parallel:
+	$(GO) test -race -count=2 -run 'TestPar|TestWakeAsync|TestConfigure' ./internal/sim/
+	$(GO) test -race -run 'TestDeterminismVectorLoad|TestDeterminismCG' ./internal/kernels/
+
 # Race pass focused on the cycle-attribution surfaces: the accounting
 # invariant sweeps, the stack/flame/CSV views and the sampler's phase
 # stamping.
@@ -121,4 +145,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race race-fault race-io race-attr fuzz-equivalence bench-engine bench-telemetry
+ci: vet test race race-fault race-io race-attr race-parallel fuzz-equivalence bench-engine bench-telemetry

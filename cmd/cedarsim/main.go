@@ -15,6 +15,12 @@
 // is registered. Modes apply to rk: nopref, pref, cache (Table 1's
 // three versions).
 //
+// The -engine flag selects the simulation engine path — naive,
+// quiescent, wake-cached (default) or parallel; results are
+// bit-identical on every path. -engine parallel runs each cluster's
+// components on their own goroutine (budget set by -par-workers) on
+// hosts with the cores to use them.
+//
 // Telemetry: -metrics-out dumps the final metrics registry,
 // -trace-out writes a Chrome trace_event JSON timeline (open it at
 // https://ui.perfetto.dev or chrome://tracing), -sample-every sets the
@@ -59,7 +65,25 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
 	faultRate := flag.Float64("fault-rate", 0, "mean injected faults per 10k cycles (0 disables fault injection)")
+	engine := flag.String("engine", "wake-cached", "engine path: naive, quiescent, wake-cached, parallel")
+	parWorkers := flag.Int("par-workers", 0, "phase-2 goroutines for -engine parallel (0 = min(NumCPU, clusters))")
 	flag.Parse()
+
+	// Validate up front: a nonsensical flag is a usage error (exit 2,
+	// like flag parsing itself), not a mid-run failure.
+	engineMode, engineOK := engineModes[*engine]
+	switch {
+	case !engineOK:
+		usageError(fmt.Errorf("unknown -engine %q (naive, quiescent, wake-cached or parallel)", *engine))
+	case *sampleEvery <= 0:
+		usageError(fmt.Errorf("-sample-every %d: the sampling interval must be positive", *sampleEvery))
+	case *faultRate < 0 || *faultRate > 1:
+		usageError(fmt.Errorf("-fault-rate %g: must be in [0,1] faults per 10k cycles", *faultRate))
+	case *parWorkers < 0:
+		usageError(fmt.Errorf("-par-workers %d: the worker budget cannot be negative", *parWorkers))
+	case *parWorkers > 0 && engineMode != sim.ModeWakeCachedParallel:
+		usageError(fmt.Errorf("-par-workers is only meaningful with -engine parallel"))
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -71,6 +95,8 @@ func main() {
 	}
 
 	cfg := core.ConfigClusters(*clusters)
+	cfg.EngineMode = engineMode
+	cfg.ParWorkers = *parWorkers
 	if *faultRate > 0 {
 		cfg.Fault = fault.DefaultConfig(*faultSeed)
 		cfg.Fault.MeanInterval = sim.Cycle(10000 / *faultRate)
@@ -207,7 +233,25 @@ func ipTable(m *core.Machine) *report.Table {
 	return t
 }
 
+// engineModes maps the -engine flag to the engine path. Results are
+// bit-identical across all four; the non-default paths exist for the
+// equivalence tests, benchmarking and multi-core hosts.
+var engineModes = map[string]sim.EngineMode{
+	"naive":       sim.ModeNaive,
+	"quiescent":   sim.ModeQuiescent,
+	"wake-cached": sim.ModeWakeCached,
+	"parallel":    sim.ModeWakeCachedParallel,
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "cedarsim:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value the way flag.Parse reports a
+// malformed one: message plus usage to stderr, exit status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "cedarsim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

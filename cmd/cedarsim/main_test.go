@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles cedarsim once per test binary into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cedarsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFlagValidation: nonsensical flag values must die up front as
+// usage errors — exit status 2 with a message naming the flag — not
+// surface as a confusing mid-run failure or, worse, a silent misrun.
+func TestFlagValidation(t *testing.T) {
+	bin := buildBinary(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"unknown engine", []string{"-engine", "warp"}, "unknown -engine"},
+		{"zero sample interval", []string{"-sample-every", "0"}, "-sample-every"},
+		{"negative sample interval", []string{"-sample-every", "-5"}, "-sample-every"},
+		{"negative fault rate", []string{"-fault-rate", "-0.1"}, "-fault-rate"},
+		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate"},
+		{"negative workers", []string{"-par-workers", "-1"}, "-par-workers"},
+		{"workers without parallel engine", []string{"-par-workers", "2"}, "-engine parallel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected a usage-error exit, got %v", err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("exit status %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr does not mention %q:\n%s", tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestEngineFlagRuns: every -engine value must complete a small kernel
+// and report the same cycle count (spot-checking the CLI wiring of the
+// equivalence the engine suites prove exhaustively).
+func TestEngineFlagRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the binary four times; skipped with -short")
+	}
+	bin := buildBinary(t)
+	var cycles string
+	for _, eng := range []string{"naive", "quiescent", "wake-cached", "parallel"} {
+		cmd := exec.Command(bin, "-engine", eng, "-kernel", "vl", "-clusters", "1", "-n", "1024")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("-engine %s: %v\n%s", eng, err, out)
+		}
+		line := ""
+		for _, l := range strings.Split(string(out), "\n") {
+			if strings.Contains(l, "simulated time:") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("-engine %s printed no simulated-time line:\n%s", eng, out)
+		}
+		if cycles == "" {
+			cycles = line
+		} else if line != cycles {
+			t.Fatalf("-engine %s reported %q, earlier engines %q", eng, line, cycles)
+		}
+	}
+}

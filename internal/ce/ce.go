@@ -205,6 +205,7 @@ type CE struct {
 	IdleCycles       int64
 	Retries          int64 // scalar reads reissued after a timeout
 	LateReplies      int64 // replies to forgotten (reissued) tags, swallowed
+	StaleReplies     int64 // replies whose tag outlived the stale ring, swallowed
 	RetriesExhausted int64 // reads abandoned with retries exhausted
 	CheckStops       int64 // check-stop faults applied
 	Surrendered      int64 // programs given up to the rescheduler
@@ -437,7 +438,12 @@ func (c *CE) Deliver(now sim.Cycle, p *network.Packet) bool {
 			return true
 		}
 	}
-	panic(fmt.Sprintf("ce %d: unmatched reply tag %d", c.ID, p.Tag))
+	// Unmatched tag: under sustained drop faults a reply can outlive the
+	// stale ring (more than staleTagCap reads reissued before it lands).
+	// Its data is superseded by a retry's just like a ring hit, so swallow
+	// it — killing the run over an already-recovered read helps nobody.
+	c.StaleReplies++
+	return true
 }
 
 // forgetTag moves a reissued read's old tag into the stale ring.

@@ -252,14 +252,51 @@ func TestScalarClusterRetry(t *testing.T) {
 	}
 }
 
-func TestUnmatchedReplyPanics(t *testing.T) {
+func TestUnmatchedReplySwallowed(t *testing.T) {
+	// A reply whose tag matches nothing — not the waiting read, not the
+	// inflight queue, not the stale ring — used to panic. Under sustained
+	// drop faults this is reachable (the tag outlived the ring), so it must
+	// be swallowed and counted instead.
 	r := newRig(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unmatched reply accepted")
+	if !r.ce.Deliver(0, &network.Packet{Tag: tagBase + 999, Kind: network.Reply}) {
+		t.Fatal("unmatched reply not accepted")
+	}
+	if r.ce.StaleReplies != 1 || r.ce.LateReplies != 0 {
+		t.Fatalf("StaleReplies=%d LateReplies=%d, want 1,0", r.ce.StaleReplies, r.ce.LateReplies)
+	}
+}
+
+func TestStaleRingWrapCountsEvictedReplies(t *testing.T) {
+	// Regression for the ring-wrap panic: reissue more reads than the
+	// stale ring holds, then let every superseded original's reply land.
+	// Tags still in the ring are LateReplies; the evicted overflow must be
+	// swallowed as StaleReplies, not kill the run. Seeded shuffle so the
+	// evicted and retained replies arrive interleaved.
+	r := newRig(t)
+	extra := 5
+	n := staleTagCap + extra
+	tags := make([]uint64, n)
+	for i := range tags {
+		tags[i] = tagBase + 1000 + uint64(i)
+		r.ce.forgetTag(tags[i])
+	}
+	rng := sim.NewRand(0x5EDA2C3D)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+	for _, tag := range tags {
+		if !r.ce.Deliver(0, &network.Packet{Tag: tag, Kind: network.Reply}) {
+			t.Fatalf("reply with tag %d not accepted", tag)
 		}
-	}()
-	r.ce.Deliver(0, &network.Packet{Tag: tagBase + 999, Kind: network.Reply})
+	}
+	if r.ce.LateReplies != int64(staleTagCap) || r.ce.StaleReplies != int64(extra) {
+		t.Fatalf("LateReplies=%d StaleReplies=%d, want %d,%d",
+			r.ce.LateReplies, r.ce.StaleReplies, staleTagCap, extra)
+	}
+	if len(r.ce.stale) != 0 {
+		t.Fatalf("stale ring holds %d tags after all replies landed, want 0", len(r.ce.stale))
+	}
 }
 
 // TestDeterministicInterleaving: two identical single-CE runs take the

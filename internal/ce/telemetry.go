@@ -17,6 +17,7 @@ func (c *CE) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/idle_cycles", &c.IdleCycles)
 	reg.Counter(prefix+"/retries", &c.Retries)
 	reg.Counter(prefix+"/late_replies", &c.LateReplies)
+	reg.Counter(prefix+"/stale_replies", &c.StaleReplies)
 	reg.Counter(prefix+"/retries_exhausted", &c.RetriesExhausted)
 	reg.Counter(prefix+"/check_stops", &c.CheckStops)
 	reg.Counter(prefix+"/surrendered", &c.Surrendered)

@@ -182,9 +182,9 @@ func TestIOParksAndSerializes(t *testing.T) {
 	}
 	for _, m := range []*core.Machine{mf, mu} {
 		w := m.IOWait
-		if w.Parks != 4 || w.Completions != 4 || w.Parked() != 0 {
+		if w.Parks() != 4 || w.Completions() != 4 || w.Parked() != 0 {
 			t.Fatalf("park table parks=%d completions=%d parked=%d, want 4/4/0",
-				w.Parks, w.Completions, w.Parked())
+				w.Parks(), w.Completions(), w.Parked())
 		}
 	}
 	// Serialized transfers mean later requests wait in the IP queue, so

@@ -62,9 +62,9 @@ func (m *Machine) CPIStack() *report.CPIStack {
 		}
 	}
 	st.AddRow("machine", total[:])
-	if m.IOWait != nil && m.IOWait.WaitCycles > 0 {
+	if m.IOWait != nil && m.IOWait.WaitCycles() > 0 {
 		st.AddNote(fmt.Sprintf("io_park detail: %d of %d parked cycles were formatted transfers",
-			m.IOWait.WaitCyclesFormatted, m.IOWait.WaitCycles))
+			m.IOWait.WaitCyclesFormatted(), m.IOWait.WaitCycles()))
 	}
 	return st
 }

@@ -49,6 +49,17 @@ func (m *Machine) registerAll(reg *telemetry.Registry) {
 	}
 	if m.FaultInj != nil {
 		m.FaultInj.RegisterMetrics(reg, "fault")
+		// Machine-wide roll-up of replies whose tag outlived the CE stale
+		// rings — a fault-recovery artifact, so it lives under fault/.
+		reg.CounterFunc("fault/stale_replies", func() int64 {
+			var n int64
+			for _, clu := range m.Clusters {
+				for _, c := range clu.CEs {
+					n += c.StaleReplies
+				}
+			}
+			return n
+		})
 		m.Resched.RegisterMetrics(reg, "xylem/resched")
 	}
 	// Engine skip/jump statistics are host-side diagnostics: they

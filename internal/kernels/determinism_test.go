@@ -20,7 +20,7 @@ import (
 // a full stats fingerprint of the machine against the naive reference.
 
 // engineModes is every path, naive reference last.
-var engineModes = []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent, sim.ModeNaive}
+var engineModes = []sim.EngineMode{sim.ModeWakeCachedParallel, sim.ModeWakeCached, sim.ModeQuiescent, sim.ModeNaive}
 
 func machineAt(clusters int, mode sim.EngineMode) *core.Machine {
 	cfg := core.ConfigClusters(clusters)
@@ -58,7 +58,7 @@ func fingerprint(m *core.Machine) string {
 			i, ip.Requests, ip.BusyCycles, ip.WordsMoved, ip.Completions, ip.WaitCycles)
 	}
 	fmt.Fprintf(&b, "iowait parks=%d done=%d wait=%d parked=%d\n",
-		m.IOWait.Parks, m.IOWait.Completions, m.IOWait.WaitCycles, m.IOWait.Parked())
+		m.IOWait.Parks(), m.IOWait.Completions(), m.IOWait.WaitCycles(), m.IOWait.Parked())
 	fmt.Fprintf(&b, "fwd inj=%d del=%d words=%d rej=%d\n", m.Fwd.Injected, m.Fwd.Delivered, m.Fwd.WordsIn, m.Fwd.Rejected)
 	fmt.Fprintf(&b, "rev inj=%d del=%d words=%d rej=%d\n", m.Rev.Injected, m.Rev.Delivered, m.Rev.WordsIn, m.Rev.Rejected)
 	for i := 0; i < m.Global.Modules(); i++ {

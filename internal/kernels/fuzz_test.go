@@ -181,7 +181,7 @@ func TestFuzzScheduleFaultEngineEquivalence(t *testing.T) {
 			if naive.FaultInj.Injected == 0 {
 				t.Fatal("fault schedule injected nothing: the test exercises no recovery path")
 			}
-			for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+			for _, mode := range []sim.EngineMode{sim.ModeWakeCachedParallel, sim.ModeWakeCached, sim.ModeQuiescent} {
 				fast := faultMachineAt(clusters, mode)
 				kf, rf, sf, tf := replayFuzz(t, fast, sched)
 				what := fmt.Sprintf("fault fuzz %dcl [%v]", clusters, mode)
@@ -220,7 +220,7 @@ func TestFuzzScheduleEngineEquivalence(t *testing.T) {
 			if naive.Eng.SkippedTicks != 0 || naive.Eng.DormantSkips != 0 {
 				t.Fatal("naive reference took a fast path")
 			}
-			for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+			for _, mode := range []sim.EngineMode{sim.ModeWakeCachedParallel, sim.ModeWakeCached, sim.ModeQuiescent} {
 				fast := machineAt(clusters, mode)
 				kf, rf, sf, tf := replayFuzz(t, fast, sched)
 				what := fmt.Sprintf("fuzz %dcl [%v]", clusters, mode)

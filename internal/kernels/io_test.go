@@ -183,8 +183,8 @@ func TestIODeadlineDiagnostic(t *testing.T) {
 	if want := int64(words) * ioWordCycles(true); c.IOWaitCycles != want {
 		t.Fatalf("CE waited %d cycles, want exactly %d", c.IOWaitCycles, want)
 	}
-	if m.IOWait.Parked() != 0 || m.IOWait.Completions != 1 {
-		t.Fatalf("park table left: %d parked, %d completions", m.IOWait.Parked(), m.IOWait.Completions)
+	if m.IOWait.Parked() != 0 || m.IOWait.Completions() != 1 {
+		t.Fatalf("park table left: %d parked, %d completions", m.IOWait.Parked(), m.IOWait.Completions())
 	}
 }
 

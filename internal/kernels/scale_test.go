@@ -38,7 +38,7 @@ func TestFourClusterFullSizeTelemetryEquivalence(t *testing.T) {
 	}
 	naive, rn, tn := run(sim.ModeNaive)
 	var traceBytes []byte
-	for _, mode := range []sim.EngineMode{sim.ModeWakeCached, sim.ModeQuiescent} {
+	for _, mode := range []sim.EngineMode{sim.ModeWakeCachedParallel, sim.ModeWakeCached, sim.ModeQuiescent} {
 		fast, rf, tf := run(mode)
 		what := fmt.Sprintf("4-cluster [%v]", mode)
 		checkResults(t, what, rf, rn)

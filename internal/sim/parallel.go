@@ -1,0 +1,584 @@
+package sim
+
+// Cluster-parallel execution (ModeWakeCachedParallel, DESIGN.md §4.9).
+//
+// The machine's clusters interact only through the forward network,
+// global memory and the reverse network, all of which tick after every
+// cluster component in registration order. ConfigureParallel exploits
+// that: a contiguous band of components (the clusters' CEs, PFUs and
+// IPs) is split into per-cluster domains, each with its own wake
+// sub-calendar, and every executed cycle runs as
+//
+//	phase 1  globals registered below the band (fault injector,
+//	         rescheduler), on the coordinator
+//	phase 2  every domain with due work — concurrently on a worker
+//	         pool when the host has the cores, inline otherwise
+//	phase 3  the remaining globals (networks, memory modules), on the
+//	         coordinator, resuming the same merge-loop cursor
+//
+// Bit-identity with the sequential engine holds because the phases
+// preserve the naive tick order exactly: phase boundaries coincide with
+// registration-index boundaries, components within a domain tick in
+// registration order, and components of different domains never touch
+// shared state during phase 2 — the only cross-domain effects (offers
+// into the forward network, program surrenders) are deferred by a
+// Boundary and committed at the rendezvous before phase 3, where the
+// sums and wake slots they produce are exactly the sequential ones.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Boundary owns state that components of different domains may both
+// touch during phase 2. BeginConcurrent arms its deferred accounting
+// before the domains fork; CommitConcurrent replays the buffered
+// effects in a deterministic order at the rendezvous, before the
+// post-band globals tick. Outside the Begin/Commit window the boundary
+// behaves sequentially.
+type Boundary interface {
+	BeginConcurrent()
+	CommitConcurrent()
+}
+
+// domainSched is one domain's private scheduling state: the same
+// calendar-plus-due-ring structure the engine keeps globally, restricted
+// to the domain's members. It is touched only by the goroutine currently
+// running the domain (or the coordinator between phases).
+type domainSched struct {
+	cal     calendar
+	curDue  []int
+	nextDue []int
+
+	nDormant int
+	ticking  bool
+	curIdx   int
+}
+
+// ConfigureParallel partitions the registered components for
+// ModeWakeCachedParallel: domains lists each cluster's components (every
+// one an IdleComponent), boundaries the shared structures needing
+// deferred commits, and workers the goroutine budget for phase 2
+// (<= 1, or a single-CPU host, runs domains inline; 0 selects
+// min(NumCPU, len(domains))). The domain members must form one
+// contiguous registration-index band with no global component inside
+// it — that is what lets a cycle split into phases without reordering
+// any tick. Call after SetMode(ModeWakeCachedParallel) and after all
+// components are registered; the calendar is rebuilt with everything
+// due at the current cycle, exactly as a mode switch does.
+func (e *Engine) ConfigureParallel(domains [][]Handle, boundaries []Boundary, workers int) error {
+	if e.mode != ModeWakeCachedParallel {
+		return fmt.Errorf("sim: ConfigureParallel in mode %v (want %v)", e.mode, ModeWakeCachedParallel)
+	}
+	if len(domains) == 0 {
+		return fmt.Errorf("sim: ConfigureParallel with no domains")
+	}
+	domainOf := make([]int32, len(e.comps))
+	for i := range domainOf {
+		domainOf[i] = -1
+	}
+	lo, hi, members := len(e.comps), -1, 0
+	for d, dom := range domains {
+		for _, h := range dom {
+			if h.eng == nil {
+				return fmt.Errorf("sim: domain %d contains a zero Handle", d)
+			}
+			if h.eng != e {
+				return fmt.Errorf("sim: domain %d contains a Handle from a different engine", d)
+			}
+			i := h.idx
+			if e.idle[i] == nil {
+				return fmt.Errorf("sim: domain %d member %q is not an IdleComponent", d, e.names[i])
+			}
+			if domainOf[i] >= 0 {
+				return fmt.Errorf("sim: component %q assigned to domains %d and %d", e.names[i], domainOf[i], d)
+			}
+			domainOf[i] = int32(d)
+			members++
+			if i < lo {
+				lo = i
+			}
+			if i > hi {
+				hi = i
+			}
+		}
+	}
+	if members == 0 {
+		return fmt.Errorf("sim: ConfigureParallel with empty domains")
+	}
+	if members != hi-lo+1 {
+		for i := lo; i <= hi; i++ {
+			if domainOf[i] < 0 {
+				return fmt.Errorf("sim: component %q (index %d) splits the domain band [%d,%d]", e.names[i], i, lo, hi)
+			}
+		}
+	}
+	e.domainOf = domainOf
+	e.bandStart, e.bandEnd = lo, hi+1
+	e.dscheds = make([]domainSched, len(domains))
+	for d := range e.dscheds {
+		ds := &e.dscheds[d]
+		ds.curIdx = -1
+		for range e.comps {
+			ds.cal.grow()
+		}
+	}
+	e.boundaries = append([]Boundary(nil), boundaries...)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(domains) {
+		workers = len(domains)
+	}
+	e.StopWorkers()
+	if workers > 1 && runtime.GOMAXPROCS(0) > 1 {
+		e.pool = newParPool(e, workers)
+	}
+	// Re-seed from fully settled state, exactly as SetMode does: every
+	// idle component due at the current cycle, in its own calendar.
+	e.Settle()
+	for i := range e.dormant {
+		e.dormant[i] = false
+	}
+	e.nDormant = 0
+	e.rebuild()
+	return nil
+}
+
+// StopWorkers terminates the phase-2 worker pool, if any; subsequent
+// parallel cycles run their domains inline (bit-identically). It exists
+// so benchmarks and long-lived hosts can release the goroutines; tests
+// that build many machines may simply let parked workers idle.
+func (e *Engine) StopWorkers() {
+	if e.pool != nil {
+		e.pool.stopAll()
+		e.pool = nil
+	}
+}
+
+// advanceParallel executes the cycle at e.now in the three-phase order
+// described at the top of the file, then advances time — by one cycle,
+// or in a jump to the earliest entry across every calendar when nothing
+// ticked anywhere.
+func (e *Engine) advanceParallel(limit Cycle) {
+	e.maybeSample()
+	now := e.now
+	nd := e.nDormant
+	for d := range e.dscheds {
+		nd += e.dscheds[d].nDormant
+	}
+	e.DormantSkips += int64(nd)
+	e.curDue, e.nextDue = e.nextDue, e.curDue[:0]
+	e.ticking = true
+	e.curIdx = -1
+	e.gAi, e.gDi = 0, 0
+	nTicked := 0
+
+	e.phase = 1
+	nTicked += e.runGlobals(now, e.bandStart)
+
+	// Domains with work due this cycle: a due-ring entry pinned for now,
+	// or a calendar entry that has arrived (including wakes phase 1 just
+	// issued). The rest cost nothing.
+	act := e.activeDoms[:0]
+	for d := range e.dscheds {
+		ds := &e.dscheds[d]
+		if len(ds.nextDue) > 0 || (!ds.cal.empty() && ds.cal.minAt() <= now) {
+			act = append(act, d)
+		}
+	}
+	e.activeDoms = act
+	e.phase = 2
+	if len(act) > 0 {
+		for _, b := range e.boundaries {
+			b.BeginConcurrent()
+		}
+		if e.pool != nil && len(act) > 1 {
+			nTicked += e.pool.runCycle(now, act)
+		} else {
+			for _, d := range act {
+				nTicked += e.runDomain(&e.dscheds[d], now)
+			}
+		}
+		// Rendezvous: replay deferred boundary effects. Sequentially these
+		// happened during some band member's tick, so pin the cursor to
+		// the last band index: a commit-time wake of a post-band component
+		// (the forward network) lands at this cycle and one of a pre-band
+		// component (the rescheduler) at the next — exactly the slots the
+		// in-band waker would have produced.
+		e.curIdx = e.bandEnd - 1
+		for _, b := range e.boundaries {
+			b.CommitConcurrent()
+		}
+	}
+
+	e.phase = 3
+	nTicked += e.runGlobals(now, len(e.comps))
+	e.phase = 0
+	e.curIdx = -1
+	e.ticking = false
+	e.SkippedTicks += int64(len(e.comps) - nTicked)
+	if nTicked == 0 {
+		target := Never
+		if len(e.nextDue) > 0 {
+			target = now + 1
+		} else if !e.cal.empty() {
+			target = e.cal.minAt()
+		}
+		for d := range e.dscheds {
+			ds := &e.dscheds[d]
+			if len(ds.nextDue) > 0 {
+				target = now + 1
+			} else if !ds.cal.empty() && ds.cal.minAt() < target {
+				target = ds.cal.minAt()
+			}
+		}
+		if target > limit {
+			target = limit
+		}
+		if target > e.nextSample {
+			target = e.nextSample
+		}
+		if target > now+1 {
+			e.FastForwarded += int64(target - now - 1)
+			e.now = target
+			return
+		}
+	}
+	e.now++
+}
+
+// runGlobals advances the global merge loop over candidates with
+// registration index below bound, resuming from the cursors the
+// previous call left. Identical to the sequential loop minus the
+// quiescent never list (the parallel mode always uses dormancy).
+func (e *Engine) runGlobals(now Cycle, bound int) int {
+	n := 0
+	for {
+		idx := -1
+		src := srcAlways
+		if e.gAi < len(e.always) && e.always[e.gAi] < bound {
+			idx = e.always[e.gAi]
+		}
+		if e.gDi < len(e.curDue) && e.curDue[e.gDi] < bound && (idx < 0 || e.curDue[e.gDi] < idx) {
+			idx, src = e.curDue[e.gDi], srcDue
+		}
+		if !e.cal.empty() && e.cal.minAt() <= now && e.cal.minIdx() < bound {
+			// The heap orders by (cycle, index) and no entry is ever left
+			// due from a previous cycle, so a min at or past bound means
+			// every due entry is past it.
+			if j := e.cal.minIdx(); idx < 0 || j < idx {
+				idx, src = j, srcCal
+			}
+		}
+		if idx < 0 {
+			return n
+		}
+		switch src {
+		case srcAlways:
+			e.gAi++
+		case srcDue:
+			e.gDi++
+		case srcCal:
+			e.cal.popMin()
+		}
+		e.curIdx = idx
+		if src != srcAlways {
+			ne := e.idle[idx].NextEvent(now)
+			if ne > now {
+				if ne == Never {
+					e.dormant[idx] = true
+					e.nDormant++
+				} else if ne == now+1 {
+					e.nextDue = append(e.nextDue, idx)
+				} else {
+					e.cal.push(idx, ne)
+				}
+				continue
+			}
+			e.nextDue = append(e.nextDue, idx)
+		}
+		if sa := e.skip[idx]; sa != nil && e.lastTick[idx]+1 < now {
+			sa.SkipCycles(e.lastTick[idx]+1, now)
+		}
+		e.lastTick[idx] = now
+		e.comps[idx].Tick(now)
+		n++
+	}
+}
+
+// runDomain advances one domain's merge loop through the cycle at now.
+// It runs on whichever goroutine owns the domain this cycle and touches
+// only the domain's sub-calendar plus the per-component slots
+// (dormant/lastTick/skip) of its own members, so concurrent domains
+// never share a written cache line beyond the slice headers.
+func (e *Engine) runDomain(ds *domainSched, now Cycle) int {
+	ds.curDue, ds.nextDue = ds.nextDue, ds.curDue[:0]
+	ds.ticking = true
+	ds.curIdx = -1
+	di := 0
+	n := 0
+	for {
+		idx := -1
+		src := srcDue
+		if di < len(ds.curDue) {
+			idx = ds.curDue[di]
+		}
+		if !ds.cal.empty() && ds.cal.minAt() <= now {
+			if j := ds.cal.minIdx(); idx < 0 || j < idx {
+				idx, src = j, srcCal
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		if src == srcDue {
+			di++
+		} else {
+			ds.cal.popMin()
+		}
+		ds.curIdx = idx
+		ne := e.idle[idx].NextEvent(now)
+		if ne > now {
+			if ne == Never {
+				e.dormant[idx] = true
+				ds.nDormant++
+			} else if ne == now+1 {
+				ds.nextDue = append(ds.nextDue, idx)
+			} else {
+				ds.cal.push(idx, ne)
+			}
+			continue
+		}
+		ds.nextDue = append(ds.nextDue, idx)
+		if sa := e.skip[idx]; sa != nil && e.lastTick[idx]+1 < now {
+			sa.SkipCycles(e.lastTick[idx]+1, now)
+		}
+		e.lastTick[idx] = now
+		e.comps[idx].Tick(now)
+		n++
+	}
+	ds.curIdx = -1
+	ds.ticking = false
+	return n
+}
+
+// wakeDomain is the wake path for a component whose calendar entry
+// lives in a domain sub-calendar. The slot mirrors wakeSlot: while the
+// domain's own merge loop runs (a same-domain waker during phase 2) the
+// loop cursor decides; from the coordinator, phase 3 means every domain
+// slot this cycle has passed, while phase 1 and host code between
+// advances still reach this cycle's slot.
+func (e *Engine) wakeDomain(ds *domainSched, i int) {
+	at := e.now
+	if ds.ticking {
+		if i <= ds.curIdx {
+			at = e.now + 1
+		}
+	} else if e.phase == 3 {
+		at = e.now + 1
+	}
+	if e.dormant[i] {
+		e.dormant[i] = false
+		ds.nDormant--
+		ds.cal.push(i, at)
+		return
+	}
+	if ds.cal.contains(i) {
+		ds.cal.moveEarlier(i, at)
+	}
+}
+
+// WakeAsync is the goroutine-safe form of Wake: it may be called from
+// any goroutine (a completion callback on an OS thread, a boundary
+// worker) at any time. The wake is buffered and delivered at the start
+// of the engine's next advance, in handle-index order — the earliest
+// point the sequential engine could observe an external stimulus that
+// arrived between cycles — so a run's outcome is a deterministic
+// function of which advance each async wake precedes. The zero Handle
+// is inert; a Handle from another engine panics, as with Wake.
+func (e *Engine) WakeAsync(h Handle) {
+	if h.eng == nil {
+		return
+	}
+	if h.eng != e {
+		panic("sim: WakeAsync with a Handle from a different engine")
+	}
+	e.pendingMu.Lock()
+	e.pendingWake = append(e.pendingWake, h.idx)
+	e.hasPending.Store(true)
+	e.pendingMu.Unlock()
+}
+
+// drainAsyncWakes delivers buffered WakeAsync calls in handle-index
+// order. Runs on the engine goroutine before the cycle's sampling and
+// merge loops, where Wake's between-cycles semantics apply.
+func (e *Engine) drainAsyncWakes() {
+	e.pendingMu.Lock()
+	pend := e.pendingWake
+	e.pendingWake = nil
+	e.hasPending.Store(false)
+	e.pendingMu.Unlock()
+	sort.Ints(pend)
+	for _, i := range pend {
+		e.wake(i)
+	}
+}
+
+// parJob is one cycle's unit of pool work, published whole through an
+// atomic pointer so it is immutable once visible. Workers claim active
+// domains off the job's cursor and count themselves done per domain. A
+// straggler still holding last cycle's job after the coordinator moved
+// on can only bump that job's exhausted claim counter and read its
+// slice header — the join guarantees every claim below the length was
+// already completed — so it can never touch the next cycle's state.
+type parJob struct {
+	now    Cycle
+	active []int
+	claim  atomic.Int64
+	done   atomic.Int64
+	ticked atomic.Int64
+}
+
+// parPool is the persistent phase-2 worker pool. Between cycles workers
+// spin briefly (the next executed cycle is usually microseconds away)
+// and then park on a channel, so an engine mid-fast-forward or a
+// finished run costs no host CPU. The job pointer carries the
+// happens-before edges: everything the coordinator wrote before
+// publishing the job is visible to a worker that loads it, and
+// everything workers wrote is visible to the coordinator once the
+// job's done count reaches its active-domain count.
+type parPool struct {
+	e *Engine
+
+	job     atomic.Pointer[parJob]
+	stop    atomic.Bool
+	nParked atomic.Int64
+	unpark  chan struct{}
+
+	panicMu sync.Mutex
+	panicV  any
+
+	workers int
+}
+
+func newParPool(e *Engine, workers int) *parPool {
+	p := &parPool{e: e, workers: workers, unpark: make(chan struct{}, workers)}
+	for w := 1; w < workers; w++ {
+		go p.workerLoop()
+	}
+	return p
+}
+
+// runCycle executes the active domains for cycle now across the pool
+// (the coordinator participates) and returns the total ticks.
+func (p *parPool) runCycle(now Cycle, active []int) int {
+	j := &parJob{now: now, active: active}
+	p.job.Store(j)
+	if n := p.nParked.Load(); n > 0 {
+		for i := int64(0); i < n; i++ {
+			select {
+			case p.unpark <- struct{}{}:
+			default:
+			}
+		}
+	}
+	p.work(j)
+	for j.done.Load() < int64(len(active)) {
+		runtime.Gosched()
+	}
+	p.panicMu.Lock()
+	v := p.panicV
+	p.panicV = nil
+	p.panicMu.Unlock()
+	if v != nil {
+		panic(v)
+	}
+	return int(j.ticked.Load())
+}
+
+// work claims and runs domains until the job is exhausted.
+func (p *parPool) work(j *parJob) {
+	for {
+		d := j.claim.Add(1) - 1
+		if d >= int64(len(j.active)) {
+			return
+		}
+		p.runOne(j, int(d))
+	}
+}
+
+// runOne runs one claimed domain, capturing a panic for rethrow on the
+// coordinator so the done count always advances and the join cannot
+// hang.
+func (p *parPool) runOne(j *parJob, d int) {
+	defer j.done.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicV == nil {
+				p.panicV = r
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	n := p.e.runDomain(&p.e.dscheds[j.active[d]], j.now)
+	j.ticked.Add(int64(n))
+}
+
+// workerLoop is the persistent body of one extra worker goroutine.
+const parSpinBudget = 256
+
+func (p *parPool) workerLoop() {
+	var last *parJob
+	spins := 0
+	for {
+		if p.stop.Load() {
+			return
+		}
+		j := p.job.Load()
+		if j != nil && j != last {
+			last = j
+			p.work(j)
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < parSpinBudget {
+			runtime.Gosched()
+			continue
+		}
+		// Park. The coordinator reads nParked after publishing the job, so
+		// either it sees this worker and sends a token, or the worker's
+		// re-check below sees the new job. A token sent for a worker
+		// that un-parked itself stays buffered and only causes a spurious
+		// (harmless) wake later.
+		p.nParked.Add(1)
+		if p.job.Load() != last || p.stop.Load() {
+			select {
+			case <-p.unpark:
+			default:
+			}
+			p.nParked.Add(-1)
+			continue
+		}
+		<-p.unpark
+		p.nParked.Add(-1)
+		spins = 0
+	}
+}
+
+// stopAll terminates the worker goroutines; parked workers are fed
+// tokens so none is left blocked.
+func (p *parPool) stopAll() {
+	p.stop.Store(true)
+	for i := 0; i < p.workers; i++ {
+		select {
+		case p.unpark <- struct{}{}:
+		default:
+		}
+	}
+}

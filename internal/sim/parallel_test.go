@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parWorker is a synthetic domain member: it fires on every cycle where
+// (now+id) is a multiple of its period until a horizon, posting into the
+// shared mailbox each time. The guard lives in Tick so the naive engine
+// (which ticks everything every cycle) produces the identical post
+// stream.
+type parWorker struct {
+	id      int
+	domain  int
+	period  Cycle
+	until   Cycle
+	mb      *mailbox
+	ticksAt []Cycle
+}
+
+func (w *parWorker) due(now Cycle) bool {
+	return now < w.until && (now+Cycle(w.id))%w.period == 0
+}
+
+func (w *parWorker) NextEvent(now Cycle) Cycle {
+	for c := now; c < w.until; c++ {
+		if w.due(c) {
+			return c
+		}
+	}
+	return Never
+}
+
+func (w *parWorker) Tick(now Cycle) {
+	if !w.due(now) {
+		return
+	}
+	w.ticksAt = append(w.ticksAt, now)
+	w.mb.Post(w.domain, w.id, now)
+}
+
+// mailbox is a synthetic cross-domain structure standing in for the
+// forward network: workers of every domain post into it mid-cycle, and
+// it folds the posts into an order-sensitive checksum in its own tick.
+// As a Boundary it defers posts per domain and replays them in domain
+// order at the rendezvous — domains are registered in index order, so
+// the replay reproduces the sequential post order exactly.
+type mailbox struct {
+	waker    Waker
+	posts    []int64
+	checksum int64
+	ticksAt  []Cycle
+
+	on       bool
+	deferred [][]int64
+}
+
+func (mb *mailbox) AttachWaker(w Waker) { mb.waker = w }
+
+func (mb *mailbox) Post(domain, id int, now Cycle) {
+	v := int64(id)<<32 | int64(now)
+	if mb.on {
+		mb.deferred[domain] = append(mb.deferred[domain], v)
+		return
+	}
+	mb.posts = append(mb.posts, v)
+	mb.waker.Wake()
+}
+
+func (mb *mailbox) BeginConcurrent() { mb.on = true }
+
+func (mb *mailbox) CommitConcurrent() {
+	mb.on = false
+	posted := false
+	for d := range mb.deferred {
+		if len(mb.deferred[d]) > 0 {
+			mb.posts = append(mb.posts, mb.deferred[d]...)
+			mb.deferred[d] = mb.deferred[d][:0]
+			posted = true
+		}
+	}
+	if posted {
+		mb.waker.Wake()
+	}
+}
+
+func (mb *mailbox) NextEvent(now Cycle) Cycle {
+	if len(mb.posts) > 0 {
+		return now
+	}
+	return Never
+}
+
+func (mb *mailbox) Tick(now Cycle) {
+	if len(mb.posts) == 0 {
+		return
+	}
+	mb.ticksAt = append(mb.ticksAt, now)
+	for _, v := range mb.posts {
+		mb.checksum = mb.checksum*1099511628211 + v
+	}
+	mb.posts = mb.posts[:0]
+}
+
+// parRig is a two-domain machine with a post-band mailbox global:
+// domain d owns workers 2d and 2d+1, registered domain-major so the
+// band is contiguous.
+type parRig struct {
+	e       *Engine
+	workers []*parWorker
+	mb      *mailbox
+	domains [][]Handle
+}
+
+func buildParRig(mode EngineMode, nDomains int) *parRig {
+	e := New()
+	e.SetMode(mode)
+	mb := &mailbox{deferred: make([][]int64, nDomains)}
+	r := &parRig{e: e, mb: mb, domains: make([][]Handle, nDomains)}
+	for d := 0; d < nDomains; d++ {
+		for i := 0; i < 2; i++ {
+			w := &parWorker{id: d*2 + i, domain: d, period: 3 + Cycle(d%2), until: 40, mb: mb}
+			h := e.Register(fmt.Sprintf("w%d", w.id), w)
+			r.workers = append(r.workers, w)
+			r.domains[d] = append(r.domains[d], h)
+		}
+	}
+	e.Register("mailbox", mb)
+	return r
+}
+
+func (r *parRig) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d mb.sum=%d mb.ticks=%v\n", r.e.Now(), r.mb.checksum, r.mb.ticksAt)
+	for _, w := range r.workers {
+		fmt.Fprintf(&b, "w%d %v\n", w.id, w.ticksAt)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesNaive: the parallel engine (inline, no pool) must
+// leave the rig bit-identical to the naive reference — every worker's
+// tick cycles, the mailbox's tick cycles and its order-sensitive
+// checksum.
+func TestParallelMatchesNaive(t *testing.T) {
+	ref := buildParRig(ModeNaive, 2)
+	ref.e.Run(100)
+
+	par := buildParRig(ModeWakeCachedParallel, 2)
+	if err := par.e.ConfigureParallel(par.domains, []Boundary{par.mb}, 1); err != nil {
+		t.Fatal(err)
+	}
+	par.e.Run(100)
+
+	if got, want := par.fingerprint(), ref.fingerprint(); got != want {
+		t.Fatalf("parallel diverged from naive:\n--- parallel\n%s--- naive\n%s", got, want)
+	}
+	if par.e.FastForwarded == 0 {
+		t.Fatal("parallel engine never fast-forwarded the post-horizon quiet span")
+	}
+}
+
+// TestParallelPoolMatchesInline forces a real worker pool (GOMAXPROCS
+// is raised so ConfigureParallel builds one even on a single-CPU host)
+// and requires the pooled run to match naive bit-for-bit. Run under
+// -race this is also the data-race check on the phase-2 fork/join.
+func TestParallelPoolMatchesInline(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	ref := buildParRig(ModeNaive, 4)
+	ref.e.Run(100)
+
+	par := buildParRig(ModeWakeCachedParallel, 4)
+	if err := par.e.ConfigureParallel(par.domains, []Boundary{par.mb}, 4); err != nil {
+		t.Fatal(err)
+	}
+	defer par.e.StopWorkers()
+	par.e.Run(100)
+
+	if got, want := par.fingerprint(), ref.fingerprint(); got != want {
+		t.Fatalf("pooled parallel diverged from naive:\n--- parallel\n%s--- naive\n%s", got, want)
+	}
+}
+
+// TestParallelPoolPanicPropagates: a component panic on a pool worker
+// must surface on the coordinator goroutine (not hang the join, not
+// kill the process from a worker).
+func TestParallelPoolPanicPropagates(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	par := buildParRig(ModeWakeCachedParallel, 2)
+	if err := par.e.ConfigureParallel(par.domains, []Boundary{par.mb}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage after configuration (Settle queries every NextEvent): the
+	// zero period divides by zero in due() at the worker's first query.
+	par.workers[3].period = 0
+	defer par.e.StopWorkers()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the coordinator")
+		}
+	}()
+	par.e.Run(10)
+}
+
+func TestConfigureParallelValidation(t *testing.T) {
+	t.Run("wrong mode", func(t *testing.T) {
+		r := buildParRig(ModeWakeCached, 2)
+		if err := r.e.ConfigureParallel(r.domains, nil, 1); err == nil || !strings.Contains(err.Error(), "mode") {
+			t.Fatalf("err = %v, want a mode error", err)
+		}
+	})
+	t.Run("no domains", func(t *testing.T) {
+		r := buildParRig(ModeWakeCachedParallel, 2)
+		if err := r.e.ConfigureParallel(nil, nil, 1); err == nil || !strings.Contains(err.Error(), "no domains") {
+			t.Fatalf("err = %v, want a no-domains error", err)
+		}
+	})
+	t.Run("zero handle", func(t *testing.T) {
+		r := buildParRig(ModeWakeCachedParallel, 2)
+		r.domains[1][0] = Handle{}
+		if err := r.e.ConfigureParallel(r.domains, nil, 1); err == nil || !strings.Contains(err.Error(), "zero Handle") {
+			t.Fatalf("err = %v, want a zero-handle error", err)
+		}
+	})
+	t.Run("foreign handle", func(t *testing.T) {
+		r := buildParRig(ModeWakeCachedParallel, 2)
+		other := New()
+		r.domains[0][0] = other.Register("stranger", &doorbell{})
+		if err := r.e.ConfigureParallel(r.domains, nil, 1); err == nil || !strings.Contains(err.Error(), "different engine") {
+			t.Fatalf("err = %v, want a foreign-handle error", err)
+		}
+	})
+	t.Run("duplicate member", func(t *testing.T) {
+		r := buildParRig(ModeWakeCachedParallel, 2)
+		r.domains[1][1] = r.domains[0][0]
+		if err := r.e.ConfigureParallel(r.domains, nil, 1); err == nil || !strings.Contains(err.Error(), "assigned to domains") {
+			t.Fatalf("err = %v, want a duplicate error", err)
+		}
+	})
+	t.Run("plain component", func(t *testing.T) {
+		e := New()
+		e.SetMode(ModeWakeCachedParallel)
+		h := e.Register("busy", ComponentFunc(func(Cycle) {}))
+		if err := e.ConfigureParallel([][]Handle{{h}}, nil, 1); err == nil || !strings.Contains(err.Error(), "IdleComponent") {
+			t.Fatalf("err = %v, want an IdleComponent error", err)
+		}
+	})
+	t.Run("split band", func(t *testing.T) {
+		e := New()
+		e.SetMode(ModeWakeCachedParallel)
+		a := e.Register("a", &doorbell{})
+		e.Register("interloper", &doorbell{})
+		b := e.Register("b", &doorbell{})
+		err := e.ConfigureParallel([][]Handle{{a}, {b}}, nil, 1)
+		if err == nil || !strings.Contains(err.Error(), "interloper") {
+			t.Fatalf("err = %v, want a band-split error naming the interloper", err)
+		}
+	})
+}
+
+// TestWakeAsyncMatchesWake: async wakes buffered between advances must
+// leave the machine exactly where synchronous Wake calls at the same
+// point do, regardless of the order the wakes were enqueued in (the
+// drain sorts by handle index — the sequential delivery order).
+func TestWakeAsyncMatchesWake(t *testing.T) {
+	for _, mode := range []EngineMode{ModeWakeCached, ModeQuiescent, ModeNaive} {
+		run := func(deliver func(e *Engine, h0, h1 Handle)) (a, b []Cycle) {
+			e := New()
+			e.SetMode(mode)
+			d0, d1 := &doorbell{}, &doorbell{}
+			h0 := e.Register("bell0", d0)
+			h1 := e.Register("bell1", d1)
+			e.Register("busy", ComponentFunc(func(Cycle) {}))
+			e.Run(10)
+			d0.pending, d1.pending = 1, 1
+			deliver(e, h0, h1)
+			e.Run(10)
+			return d0.ticksAt, d1.ticksAt
+		}
+		syncA, syncB := run(func(e *Engine, h0, h1 Handle) {
+			e.Wake(h0)
+			e.Wake(h1)
+		})
+		asyncA, asyncB := run(func(e *Engine, h0, h1 Handle) {
+			done := make(chan struct{})
+			go func() { // reverse enqueue order, from another goroutine
+				e.WakeAsync(h1)
+				e.WakeAsync(h0)
+				close(done)
+			}()
+			<-done
+		})
+		if fmt.Sprint(asyncA, asyncB) != fmt.Sprint(syncA, syncB) {
+			t.Fatalf("mode %v: WakeAsync ticks %v/%v, Wake ticks %v/%v", mode, asyncA, asyncB, syncA, syncB)
+		}
+	}
+}
+
+// TestWakeAsyncRaceStress hammers WakeAsync from many goroutines while
+// the engine advances on the test goroutine; run under -race this is
+// the data-race check on the wake buffer, and the spurious wakes of a
+// non-pending doorbell must all be absorbed without a tick.
+func TestWakeAsyncRaceStress(t *testing.T) {
+	e := New()
+	d := &doorbell{}
+	h := e.Register("bell", d)
+	e.Register("busy", ComponentFunc(func(Cycle) {}))
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.WakeAsync(h)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			e.Run(1) // drain the final batch
+			if got := len(d.ticksAt); got != 0 {
+				t.Fatalf("spurious wakes produced %d ticks of a never-pending bell", got)
+			}
+			d.pending = 1
+			e.WakeAsync(h)
+			e.Run(2)
+			if len(d.ticksAt) != 1 {
+				t.Fatalf("bell ticked %v after a real async wake, want exactly one tick", d.ticksAt)
+			}
+			return
+		default:
+			e.Run(1)
+		}
+	}
+}
+
+func TestWakeAsyncZeroHandleIsNoOp(t *testing.T) {
+	e := New()
+	e.Register("busy", ComponentFunc(func(Cycle) {}))
+	e.WakeAsync(Handle{}) // must not panic
+	e.Run(1)
+}
+
+func TestWakeAsyncForeignHandlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WakeAsync with another engine's handle did not panic")
+		}
+	}()
+	a, b := New(), New()
+	h := a.Register("x", &doorbell{})
+	b.WakeAsync(h)
+}

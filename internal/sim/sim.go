@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,9 +60,24 @@ func (c Cycle) Duration() time.Duration { return time.Duration(c) * CycleTime }
 
 // FromDuration converts a duration of simulated time to whole cycles,
 // rounding up so that a positive duration never becomes zero cycles.
+//
+// Like FromMicroseconds, the conversion saturates instead of wrapping:
+// for durations within CycleTime-1 of math.MaxInt64 the round-up bias
+// (d + CycleTime - 1) used to overflow int64 and come back negative, so
+// anything in that band — and any quotient beyond the representable
+// cycle range — clamps to the maximum Cycle.
 func FromDuration(d time.Duration) Cycle {
 	if d <= 0 {
 		return 0
+	}
+	if d > math.MaxInt64-(CycleTime-1) {
+		// The round-up bias would wrap; the unbiased quotient cannot,
+		// and adding the partial-cycle carry keeps the ceiling exact.
+		c := Cycle(d / CycleTime)
+		if d%CycleTime != 0 && c < math.MaxInt64 {
+			c++
+		}
+		return c
 	}
 	return Cycle((d + CycleTime - 1) / CycleTime)
 }
@@ -203,6 +220,16 @@ const (
 	// ModeNaive ticks every component every cycle — the ground-truth
 	// reference path for the determinism equivalence tests.
 	ModeNaive
+	// ModeWakeCachedParallel is ModeWakeCached with a topology partition:
+	// after ConfigureParallel assigns a contiguous band of components to
+	// per-cluster domains, each executed cycle runs in three phases —
+	// pre-band globals, then every domain with due work (on worker
+	// goroutines when the host allows), then the remaining globals — with
+	// cross-domain boundary effects deferred to the rendezvous between
+	// phases two and three (DESIGN.md §4.9). Without a partition it
+	// behaves exactly as ModeWakeCached. Declared after ModeNaive so the
+	// original three mode values stay stable.
+	ModeWakeCachedParallel
 )
 
 // String names the mode for benchmarks and error messages.
@@ -214,6 +241,8 @@ func (m EngineMode) String() string {
 		return "quiescent"
 	case ModeNaive:
 		return "naive"
+	case ModeWakeCachedParallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("EngineMode(%d)", int(m))
 }
@@ -261,6 +290,27 @@ type Engine struct {
 	// earlier in registration order, next cycle otherwise.
 	curIdx int
 
+	// Parallel-partition state (ModeWakeCachedParallel; see parallel.go).
+	// domainOf maps a registration index to its domain (-1 for a global
+	// component); it is non-empty only once ConfigureParallel has run.
+	// gAi/gDi are the resumable cursors of the split global merge loop —
+	// phase one stops at bandStart and phase three resumes where it left.
+	domainOf   []int32
+	dscheds    []domainSched
+	boundaries []Boundary
+	pool       *parPool
+	bandStart  int
+	bandEnd    int
+	phase      int8
+	gAi, gDi   int
+	activeDoms []int
+
+	// Cross-goroutine wake buffer (WakeAsync): appended under pendingMu,
+	// drained in handle-index order at the start of the next advance.
+	pendingMu   sync.Mutex
+	pendingWake []int
+	hasPending  atomic.Bool
+
 	probe      Probe
 	nextSample Cycle
 
@@ -301,6 +351,9 @@ func (e *Engine) SetMode(m EngineMode) {
 		e.dormant[i] = false
 	}
 	e.nDormant = 0
+	for d := range e.dscheds {
+		e.dscheds[d].nDormant = 0
+	}
 	e.mode = m
 	e.rebuild()
 }
@@ -314,13 +367,27 @@ func (e *Engine) rebuild() {
 	e.never = e.never[:0]
 	e.curDue = e.curDue[:0]
 	e.nextDue = e.nextDue[:0]
+	for d := range e.dscheds {
+		ds := &e.dscheds[d]
+		ds.cal.reset()
+		ds.curDue = ds.curDue[:0]
+		ds.nextDue = ds.nextDue[:0]
+	}
 	if e.mode == ModeNaive {
 		return
 	}
+	par := e.mode == ModeWakeCachedParallel && len(e.dscheds) > 0
 	for i, ic := range e.idle {
-		if ic != nil {
-			e.cal.push(i, e.now)
+		if ic == nil {
+			continue
 		}
+		if par {
+			if d := e.domainOf[i]; d >= 0 {
+				e.dscheds[d].cal.push(i, e.now)
+				continue
+			}
+		}
+		e.cal.push(i, e.now)
 	}
 }
 
@@ -399,7 +466,15 @@ func (h Handle) Wake() {
 }
 
 // wake implements Handle.Wake and Engine.Wake for component index i.
+// Under a parallel partition, a domain component's calendar entry lives
+// in its domain's sub-calendar; everything else stays on the global one.
 func (e *Engine) wake(i int) {
+	if e.mode == ModeWakeCachedParallel && len(e.domainOf) > 0 {
+		if d := e.domainOf[i]; d >= 0 {
+			e.wakeDomain(&e.dscheds[d], i)
+			return
+		}
+	}
 	if e.dormant[i] {
 		e.dormant[i] = false
 		e.nDormant--
@@ -458,6 +533,15 @@ func (e *Engine) Register(name string, c Component) Handle {
 	e.lastTick = append(e.lastTick, -1)
 	e.dormant = append(e.dormant, false)
 	e.cal.grow()
+	if len(e.dscheds) > 0 {
+		// Post-partition registrations are global components: the domain
+		// band was validated as a closed set, so latecomers tick on the
+		// coordinator.
+		e.domainOf = append(e.domainOf, -1)
+		for d := range e.dscheds {
+			e.dscheds[d].cal.grow()
+		}
+	}
 	i := len(e.comps) - 1
 	if ic == nil {
 		// No quiescence view: ticked at every executed cycle.
@@ -514,6 +598,9 @@ func (e *Engine) Step() {
 		e.advance(e.now + 1)
 		return
 	}
+	if e.hasPending.Load() {
+		e.drainAsyncWakes()
+	}
 	e.maybeSample()
 	e.ticking = true
 	for _, c := range e.comps {
@@ -552,7 +639,23 @@ func (e *Engine) MidCycle() bool { return e.ticking }
 // set on Never in ModeWakeCached, or onto the never list in
 // ModeQuiescent. A jump happens only when no component ticked at all,
 // which guarantees every calendar entry is still valid.
+// Candidate sources of the per-cycle merge loops, in the order they are
+// consulted; shared by advance, runGlobals and runDomain.
+const (
+	srcAlways = iota
+	srcDue
+	srcNever
+	srcCal
+)
+
 func (e *Engine) advance(limit Cycle) {
+	if e.hasPending.Load() {
+		e.drainAsyncWakes()
+	}
+	if e.mode == ModeWakeCachedParallel && len(e.dscheds) > 0 {
+		e.advanceParallel(limit)
+		return
+	}
 	e.maybeSample()
 	now := e.now
 	// Diagnostics mirror the scan engine's: every registered component
@@ -564,12 +667,6 @@ func (e *Engine) advance(limit Cycle) {
 	nTicked := 0
 	e.ticking = true
 	e.curIdx = -1
-	const (
-		srcAlways = iota
-		srcDue
-		srcNever
-		srcCal
-	)
 	for {
 		// Next candidate: the smallest registration index among the four
 		// sources. The calendar is consulted live so entries inserted
@@ -608,7 +705,9 @@ func (e *Engine) advance(limit Cycle) {
 			ne := e.idle[idx].NextEvent(now)
 			if ne > now {
 				if ne == Never {
-					if e.mode == ModeWakeCached {
+					if e.mode != ModeQuiescent {
+						// Wake-cached dormancy; the parallel mode without a
+						// configured partition rides this same path.
 						e.dormant[idx] = true
 						e.nDormant++
 					} else if src != srcNever {
@@ -793,13 +892,23 @@ func (e *Engine) faulted() []string {
 // a failed RunUntil cannot reinsert, reschedule, or otherwise perturb a
 // component — the engine is left bit-identical for diagnosis or resume.
 func (e *Engine) stuckDormant() []string {
-	if e.nDormant == 0 {
+	nd := e.nDormant
+	for d := range e.dscheds {
+		nd += e.dscheds[d].nDormant
+	}
+	if nd == 0 {
 		return nil
 	}
 	if len(e.always) > 0 || !e.cal.empty() || len(e.nextDue) > 0 || len(e.never) > 0 {
 		return nil
 	}
-	names := make([]string, 0, e.nDormant)
+	for d := range e.dscheds {
+		ds := &e.dscheds[d]
+		if !ds.cal.empty() || len(ds.nextDue) > 0 {
+			return nil
+		}
+	}
+	names := make([]string, 0, nd)
 	for i := range e.comps {
 		if e.dormant[i] {
 			names = append(names, e.names[i])

@@ -34,6 +34,40 @@ func TestCycleConversions(t *testing.T) {
 			t.Fatalf("FromDuration(%v) = %d, want %d", c.d, got, c.want)
 		}
 	}
+	// Overflow edge, mirroring FromMicroseconds' saturation rows: near
+	// math.MaxInt64 the round-up bias (d + CycleTime - 1) used to wrap
+	// negative; the conversion must saturate to the maximum Cycle range
+	// instead. MaxInt64 ns / 170 ns rounds up to 54_255_129_628_557_505.
+	const maxD = time.Duration(math.MaxInt64)
+	overflow := []struct {
+		d    time.Duration
+		want Cycle
+	}{
+		{maxD, 54_255_129_628_557_505},
+		{maxD - 1, 54_255_129_628_557_505},
+		{maxD - 127, 54_255_129_628_557_504}, // exact multiple of 170 ns
+		{maxD - (CycleTime - 2), 54_255_129_628_557_504},
+		{maxD - (CycleTime - 1), 54_255_129_628_557_504}, // last bias-safe input
+		{maxD - CycleTime, 54_255_129_628_557_504},
+	}
+	for _, c := range overflow {
+		if got := FromDuration(c.d); got != c.want {
+			t.Fatalf("FromDuration(%d) = %d, want %d", c.d, got, c.want)
+		}
+		if got := FromDuration(c.d); got <= 0 {
+			t.Fatalf("FromDuration(%d) = %d wrapped negative", c.d, got)
+		}
+	}
+	// Monotonic through the former wrap point: larger durations never
+	// convert to fewer cycles.
+	prev := Cycle(0)
+	for _, d := range []time.Duration{maxD / 4, maxD / 2, maxD - CycleTime, maxD - 1, maxD} {
+		got := FromDuration(d)
+		if got < prev {
+			t.Fatalf("FromDuration(%d) = %d < FromDuration of a shorter duration (%d)", d, got, prev)
+		}
+		prev = got
+	}
 }
 
 func TestFromMicroseconds(t *testing.T) {

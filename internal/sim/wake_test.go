@@ -289,10 +289,11 @@ func TestSetModeClearsDormancy(t *testing.T) {
 
 func TestModeStrings(t *testing.T) {
 	cases := map[EngineMode]string{
-		ModeWakeCached: "wake-cached",
-		ModeQuiescent:  "quiescent",
-		ModeNaive:      "naive",
-		EngineMode(9):  "EngineMode(9)",
+		ModeWakeCached:         "wake-cached",
+		ModeQuiescent:          "quiescent",
+		ModeNaive:              "naive",
+		ModeWakeCachedParallel: "parallel",
+		EngineMode(9):          "EngineMode(9)",
 	}
 	for m, want := range cases {
 		if got := m.String(); got != want {

@@ -34,8 +34,8 @@ func TestIOWaitParkAndRedispatch(t *testing.T) {
 	w.Park(100, dev, 640, true, "writer-a", func(c IOCompletion) { resumed = append(resumed, c) })
 	w.Park(130, dev, 64, false, "reader-b", func(c IOCompletion) { resumed = append(resumed, c) })
 
-	if w.Parked() != 2 || w.Parks != 2 {
-		t.Fatalf("parked %d / parks %d, want 2 / 2", w.Parked(), w.Parks)
+	if w.Parked() != 2 || w.Parks() != 2 {
+		t.Fatalf("parked %d / parks %d, want 2 / 2", w.Parked(), w.Parks())
 	}
 	if len(dev.subs) != 2 || dev.subs[0].words != 640 || !dev.subs[0].formatted || dev.subs[1].words != 64 {
 		t.Fatalf("device saw submissions %+v", dev.subs)
@@ -50,11 +50,11 @@ func TestIOWaitParkAndRedispatch(t *testing.T) {
 		t.Fatalf("after first completion: parked %d, resumed %+v", w.Parked(), resumed)
 	}
 	dev.fire[0](IOCompletion{Submitted: 100, Done: 900, Words: 640, Formatted: true})
-	if w.Parked() != 0 || w.Completions != 2 {
-		t.Fatalf("after both: parked %d, completions %d", w.Parked(), w.Completions)
+	if w.Parked() != 0 || w.Completions() != 2 {
+		t.Fatalf("after both: parked %d, completions %d", w.Parked(), w.Completions())
 	}
-	if want := int64((400 - 130) + (900 - 100)); w.WaitCycles != want {
-		t.Fatalf("WaitCycles %d, want %d", w.WaitCycles, want)
+	if want := int64((400 - 130) + (900 - 100)); w.WaitCycles() != want {
+		t.Fatalf("WaitCycles %d, want %d", w.WaitCycles(), want)
 	}
 }
 
