@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-fault race-io race-attr race-parallel bench bench-engine bench-telemetry fuzz-equivalence cover ci
+.PHONY: all build test vet race race-fault race-io race-attr race-parallel bench bench-engine bench-telemetry fuzz-equivalence fault-soak cover ci
 
 all: ci
 
@@ -80,9 +80,20 @@ fuzz-equivalence:
 	$(GO) test ./internal/kernels/ -run 'TestFuzzScheduleEngineEquivalence|TestFuzzScheduleFaultEngineEquivalence' -v
 
 # Race pass focused on the fault-injection surfaces (injector, engine,
-# networks): the layers the fault PR touches most.
+# networks): the layers the fault PR touches most, plus the CE
+# inflight-reissue path raced under the parallel engine with the worker
+# pool forced on (the chaos soak's parallel-reissue case).
 race-fault:
 	$(GO) test -race ./internal/fault/ ./internal/sim/ ./internal/network/
+	$(GO) test -race -run TestChaosSoakParallelReissue ./internal/kernels/
+
+# Chaos soak: seeded sweep of (fault-kind subsets x registry workloads
+# x all four engine modes) asserting completion, cross-mode fingerprint
+# equality and a balanced fault census — the standing system-wide fault
+# invariant. The vacuity guard keeps the new cluster-internal kinds
+# actually firing.
+fault-soak:
+	$(GO) test -run 'TestChaosSoak' -count=1 ./internal/kernels/
 
 # Race pass focused on the I/O path (TestIO* across the packages the
 # isa.IO -> CE -> IP -> xylem park/redispatch chain crosses).
@@ -145,4 +156,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race race-fault race-io race-attr race-parallel fuzz-equivalence bench-engine bench-telemetry
+ci: vet test race race-fault race-io race-attr race-parallel fuzz-equivalence fault-soak bench-engine bench-telemetry

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof on the -pprof server
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -63,8 +64,9 @@ func main() {
 	cpi := flag.Bool("cpi", false, "print the per-CE and per-phase CPI stack tables")
 	attrOut := flag.String("attr-out", "", "write the per-interval per-CE cycle-attribution time series to this CSV file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
-	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed (non-negative)")
 	faultRate := flag.Float64("fault-rate", 0, "mean injected faults per 10k cycles (0 disables fault injection)")
+	faultKinds := flag.String("fault-kinds", "", "comma-separated fault kinds to inject (empty = all; known: "+strings.Join(fault.KindNames(), ",")+")")
 	engine := flag.String("engine", "wake-cached", "engine path: naive, quiescent, wake-cached, parallel")
 	parWorkers := flag.Int("par-workers", 0, "phase-2 goroutines for -engine parallel (0 = min(NumCPU, clusters))")
 	flag.Parse()
@@ -79,10 +81,27 @@ func main() {
 		usageError(fmt.Errorf("-sample-every %d: the sampling interval must be positive", *sampleEvery))
 	case *faultRate < 0 || *faultRate > 1:
 		usageError(fmt.Errorf("-fault-rate %g: must be in [0,1] faults per 10k cycles", *faultRate))
+	case *faultSeed < 0:
+		usageError(fmt.Errorf("-fault-seed %d: the schedule seed cannot be negative", *faultSeed))
 	case *parWorkers < 0:
 		usageError(fmt.Errorf("-par-workers %d: the worker budget cannot be negative", *parWorkers))
 	case *parWorkers > 0 && engineMode != sim.ModeWakeCachedParallel:
 		usageError(fmt.Errorf("-par-workers is only meaningful with -engine parallel"))
+	}
+	// -fault-kinds is validated even when -fault-rate leaves injection
+	// off: a typo in the filter should fail here, not pass silently
+	// until someone turns the rate up.
+	var kindFilter []string
+	if *faultKinds != "" {
+		for _, k := range strings.Split(*faultKinds, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kindFilter = append(kindFilter, k)
+			}
+		}
+		scratch := fault.DefaultConfig(0)
+		if err := scratch.EnableOnly(kindFilter); err != nil {
+			usageError(err)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -98,8 +117,13 @@ func main() {
 	cfg.EngineMode = engineMode
 	cfg.ParWorkers = *parWorkers
 	if *faultRate > 0 {
-		cfg.Fault = fault.DefaultConfig(*faultSeed)
+		cfg.Fault = fault.DefaultConfig(uint64(*faultSeed))
 		cfg.Fault.MeanInterval = sim.Cycle(10000 / *faultRate)
+		if kindFilter != nil {
+			if err := cfg.Fault.EnableOnly(kindFilter); err != nil {
+				usageError(err) // unreachable: validated above
+			}
+		}
 	}
 	m, err := core.New(cfg)
 	if err != nil {

@@ -35,6 +35,10 @@ func TestFlagValidation(t *testing.T) {
 		{"negative sample interval", []string{"-sample-every", "-5"}, "-sample-every"},
 		{"negative fault rate", []string{"-fault-rate", "-0.1"}, "-fault-rate"},
 		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate"},
+		{"negative fault seed", []string{"-fault-seed", "-1"}, "-fault-seed"},
+		{"unknown fault kind", []string{"-fault-kinds", "gamma-ray"}, "unknown kind"},
+		{"fault kinds validated at rate zero", []string{"-fault-rate", "0", "-fault-kinds", "net-stall,typo"}, "unknown kind"},
+		{"empty fault kinds entry", []string{"-fault-kinds", ","}, "no kinds named"},
 		{"negative workers", []string{"-par-workers", "-1"}, "-par-workers"},
 		{"workers without parallel engine", []string{"-par-workers", "2"}, "-engine parallel"},
 	}
@@ -87,6 +91,40 @@ func TestEngineFlagRuns(t *testing.T) {
 			cycles = line
 		} else if line != cycles {
 			t.Fatalf("-engine %s reported %q, earlier engines %q", eng, line, cycles)
+		}
+	}
+}
+
+// TestFaultKindsFilterRuns: a filtered faulted run completes and its
+// census table reports the cluster-internal kinds — the filter reaches
+// the injector, and filtered-out kinds stay at zero.
+func TestFaultKindsFilterRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the binary; skipped with -short")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-kernel", "tm", "-clusters", "1", "-n", "2048",
+		"-fault-rate", "0.5", "-fault-kinds", "cache-bank-busy,bus-stall,ce-drop", "-noprefetch")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("faulted run failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "Injected faults") {
+		t.Fatalf("no fault census table in output:\n%s", text)
+	}
+	for _, row := range []string{"cache-bank-busy", "bus-stall", "ce-drop"} {
+		if !strings.Contains(text, row) {
+			t.Fatalf("census table missing a %q row:\n%s", row, text)
+		}
+	}
+	// Filtered-out kinds must report zero injections.
+	for _, l := range strings.Split(text, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 2 && (f[0] == "net-stall" || f[0] == "mem-busy" || f[0] == "check-stop") {
+			if f[len(f)-1] != "0" {
+				t.Fatalf("kind %s injected despite the filter: %q", f[0], l)
+			}
 		}
 	}
 }

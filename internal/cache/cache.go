@@ -81,6 +81,12 @@ type Cache struct {
 	bankCycle sim.Cycle
 	bankUsed  []int
 
+	// Per-bank fault busy windows: a bank refuses all ports until its
+	// window expires (injected via FaultBankBusy). Recovery is free:
+	// every caller of Access already retries a refused access next
+	// cycle, so a busy window only defers service — no state is lost.
+	bankBusyUntil []sim.Cycle
+
 	// Per-CE outstanding fill completion times (lockup-free misses).
 	outstanding [][]sim.Cycle
 
@@ -94,11 +100,13 @@ type Cache struct {
 	lruClock uint64
 
 	// Counters.
-	Hits       int64
-	Misses     int64
-	Writebacks int64
-	BankStalls int64
-	MSHRStalls int64
+	Hits            int64
+	Misses          int64
+	Writebacks      int64
+	BankStalls      int64
+	MSHRStalls      int64
+	FaultBankBusies int64 // injected bank busy windows
+	FaultBankStalls int64 // accesses refused because a bank was fault-busy
 }
 
 // New builds a cache; zero fields of cfg take defaults.
@@ -137,11 +145,12 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache: configuration too small (%d words)", cfg.Words))
 	}
 	c := &Cache{
-		cfg:         cfg,
-		nset:        uint64(nsets),
-		bankUsed:    make([]int, cfg.Banks),
-		outstanding: make([][]sim.Cycle, cfg.CEs),
-		fills:       map[uint64]sim.Cycle{},
+		cfg:           cfg,
+		nset:          uint64(nsets),
+		bankUsed:      make([]int, cfg.Banks),
+		bankBusyUntil: make([]sim.Cycle, cfg.Banks),
+		outstanding:   make([][]sim.Cycle, cfg.CEs),
+		fills:         map[uint64]sim.Cycle{},
 	}
 	c.sets = make([][]line, nsets)
 	backing := make([]line, nsets*cfg.Ways)
@@ -170,12 +179,34 @@ func (c *Cache) chargeBank(now sim.Cycle, addr uint64) bool {
 		}
 	}
 	b := c.bankFor(addr)
+	if now < c.bankBusyUntil[b] {
+		c.BankStalls++
+		c.FaultBankStalls++
+		return false
+	}
 	if c.bankUsed[b] >= c.cfg.BankAccessesPerCycle {
 		c.BankStalls++
 		return false
 	}
 	c.bankUsed[b]++
 	return true
+}
+
+// Banks reports the interleaving factor, for fault-target selection.
+func (c *Cache) Banks() int { return c.cfg.Banks }
+
+// FaultBankBusy marks bank busy for window cycles starting at now: all
+// of its ports refuse service until the window expires (the injected
+// analogue of an ECC scrub or maintenance cycle steal monopolizing the
+// bank). Overlapping injections extend the window, never shrink it.
+func (c *Cache) FaultBankBusy(now sim.Cycle, bank int, window sim.Cycle) {
+	if bank < 0 || bank >= c.cfg.Banks {
+		panic(fmt.Sprintf("cache: fault on bank %d of %d", bank, c.cfg.Banks))
+	}
+	if until := now + window; until > c.bankBusyUntil[bank] {
+		c.bankBusyUntil[bank] = until
+	}
+	c.FaultBankBusies++
 }
 
 // pruneOutstanding drops completed fills from a CE's miss list.

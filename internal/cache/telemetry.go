@@ -10,4 +10,6 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/writebacks", &c.Writebacks)
 	reg.Counter(prefix+"/bank_stalls", &c.BankStalls)
 	reg.Counter(prefix+"/mshr_stalls", &c.MSHRStalls)
+	reg.Counter(prefix+"/fault_bank_busies", &c.FaultBankBusies)
+	reg.Counter(prefix+"/fault_bank_stalls", &c.FaultBankStalls)
 }

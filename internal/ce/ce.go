@@ -59,13 +59,19 @@ type Config struct {
 	// (default 2 cycles).
 	SyncExtra sim.Cycle
 	// ReadTimeout, when positive, enables request-layer recovery for
-	// global scalar reads: a reply that has not arrived after ReadTimeout
-	// cycles is re-requested under a fresh tag, with exponential backoff
-	// and at most MaxRetries reissues before the CE gives up and reports
-	// the wedge via FaultReason. Sync operations are never retried: the
-	// Test-And-Operate read-modify-write at the module is not idempotent,
-	// so a duplicate could double-apply — the fault injector likewise
-	// never drops sync packets.
+	// global reads — scalar accesses and direct (non-prefetched) vector
+	// stream elements alike: a reply that has not arrived after
+	// ReadTimeout cycles is re-requested under a fresh tag, with
+	// exponential backoff and at most MaxRetries reissues before the CE
+	// gives up and reports the wedge via FaultReason. Vector reissue is
+	// head-only, like the PFU's: each inflight entry carries its own
+	// deadline, but only the in-order consumption head is reissued (a
+	// younger entry's deadline matters only once it becomes the head).
+	// Sync operations are never retried: the Test-And-Operate
+	// read-modify-write at the module is not idempotent, so a duplicate
+	// could double-apply — sync tags live in their own namespace
+	// (SyncTagBase) precisely so the fault injector can exclude them
+	// from drops by range.
 	ReadTimeout sim.Cycle
 	// MaxRetries bounds the reissues per read when ReadTimeout is set.
 	MaxRetries int
@@ -76,23 +82,38 @@ func DefaultConfig() Config {
 	return Config{VectorStartup: 12, XferCycles: 5, MaxOutstanding: 2, SyncExtra: 2}
 }
 
-// tagBase namespaces direct CE request tags above the prefetch unit's
-// buffer-slot tags (0..511).
-const tagBase uint64 = 1 << 20
+// TagBase namespaces direct CE request tags above the prefetch unit's
+// epoch-qualified slot tags [0, prefetch.TagSpan). SyncTagBase opens a
+// third namespace above
+// it for synchronization requests: gmem answers a Sync with an ordinary
+// network.Reply carrying the request's tag, so only the tag range tells
+// a sync reply from a read reply — and the fault injector must never
+// drop a sync reply (Test-And-Operate is not idempotent; a reissue
+// could double-apply). The injector's CEDrop predicate therefore
+// accepts exactly [TagBase, SyncTagBase).
+const (
+	TagBase     uint64 = 1 << 20
+	SyncTagBase uint64 = 1 << 28
+)
 
 // inflightReq is one outstanding memory element in a vector stream or a
-// scalar access, consumed in issue order.
+// scalar access, consumed in issue order. Global-space entries carry
+// their word address and, when request-layer recovery is enabled, a
+// per-entry reissue deadline; cluster-space entries are created already
+// arrived (tag 0) and never retried.
 type inflightReq struct {
 	tag      uint64
+	addr     uint64
 	arrived  bool
 	usableAt sim.Cycle
+	retries  int
+	retryAt  sim.Cycle
 }
 
 // staleTagCap bounds the ring of forgotten request tags kept so a late
 // reply to a reissued read is recognized and swallowed instead of
-// panicking as unmatched. Reads are never dropped by the fault injector
-// (only delayed), so every forgotten tag's reply arrives while the tag is
-// still in the ring.
+// panicking as unmatched. Under sustained drop faults a reply can still
+// outlive the ring; Deliver swallows those into StaleReplies.
 const staleTagCap = 32
 
 // parkMark is one pending reclassification of elided cycles: from cycle
@@ -103,8 +124,10 @@ type parkMark struct {
 }
 
 // lostReq records the pending request of an exhausted retry, for the
-// FaultReason diagnosis.
+// FaultReason diagnosis. what names the request class ("scalar read" or
+// "vector element read").
 type lostReq struct {
+	what    string
 	tag     uint64
 	addr    uint64
 	retries int
@@ -135,11 +158,12 @@ type CE struct {
 	finishAt sim.Cycle
 
 	// Vector state.
-	vIssued    int
-	vDone      int
-	startupEnd sim.Cycle
-	inflight   []inflightReq
-	nextTag    uint64
+	vIssued     int
+	vDone       int
+	startupEnd  sim.Cycle
+	inflight    []inflightReq
+	nextTag     uint64
+	nextSyncTag uint64
 
 	// Scalar/sync reply state.
 	waitTag      uint64
@@ -223,16 +247,17 @@ func New(cfg Config, id, port, local int, fwd *network.Network, ch *cache.Cache,
 		cfg.MaxOutstanding = 2
 	}
 	return &CE{
-		cfg:     cfg,
-		ID:      id,
-		Port:    port,
-		Local:   local,
-		fwd:     fwd,
-		cache:   ch,
-		pfu:     u,
-		route:   route,
-		nextTag: tagBase,
-		parkAs:  isa.AcctIdle, // pre-first-tick spans are idle
+		cfg:         cfg,
+		ID:          id,
+		Port:        port,
+		Local:       local,
+		fwd:         fwd,
+		cache:       ch,
+		pfu:         u,
+		route:       route,
+		nextTag:     TagBase,
+		nextSyncTag: SyncTagBase,
+		parkAs:      isa.AcctIdle, // pre-first-tick spans are idle
 	}
 }
 
@@ -406,7 +431,7 @@ func (c *CE) SkipCycles(from, to sim.Cycle) {
 // Deliver accepts a reverse-network packet for this CE's port,
 // dispatching prefetch-buffer fills to the PFU.
 func (c *CE) Deliver(now sim.Cycle, p *network.Packet) bool {
-	if p.Tag < prefetch.BufferWords {
+	if p.Tag < prefetch.TagSpan {
 		if c.pfu == nil {
 			panic(fmt.Sprintf("ce %d: prefetch reply without a PFU", c.ID))
 		}
@@ -469,7 +494,11 @@ func (c *CE) tick(now sim.Cycle) isa.Bucket {
 	if c.checkStopped && c.cur == nil {
 		// Instruction boundary under a check-stop: surrender a held
 		// program to the rescheduler (once), then freeze until Repair.
-		if c.prog != nil && c.OnSurrender != nil {
+		// A program mid-prefetch-block cannot migrate — its armed block
+		// and full/empty bits live in this CE's PFU — so it is held here
+		// and resumed by Repair instead (resched.go counts on repair as
+		// the redispatch guarantee of last resort).
+		if c.prog != nil && c.OnSurrender != nil && (c.pfu == nil || c.pfu.Quiescent()) {
 			p := c.prog
 			c.prog = nil
 			c.Surrendered++
@@ -559,7 +588,11 @@ func (c *CE) start(op *isa.Op, now sim.Cycle) {
 	c.waitTag = 0
 	switch op.Kind {
 	case isa.Compute:
-		c.finishAt = now + op.Cycles
+		cost := op.Cycles
+		if op.ExtraCost != nil {
+			cost += op.ExtraCost(now)
+		}
+		c.finishAt = now + cost
 	case isa.Vector:
 		// Buffer-to-register transfer pipelines within the startup, so
 		// prefetched and direct vector operations charge the same fill.
@@ -629,10 +662,20 @@ func (c *CE) complete(now sim.Cycle, v int64, ok bool) {
 
 func (c *CE) newTag() uint64 {
 	c.nextTag++
-	if c.nextTag < tagBase {
-		c.nextTag = tagBase + 1
+	if c.nextTag < TagBase || c.nextTag >= SyncTagBase {
+		c.nextTag = TagBase + 1
 	}
 	return c.nextTag
+}
+
+// newSyncTag draws from the sync namespace, above SyncTagBase, so the
+// fault injector's droppable-range test can never select a sync reply.
+func (c *CE) newSyncTag() uint64 {
+	c.nextSyncTag++
+	if c.nextSyncTag < SyncTagBase {
+		c.nextSyncTag = SyncTagBase + 1
+	}
+	return c.nextSyncTag
 }
 
 // tickVector advances a vector operation: consume the head of the
@@ -677,20 +720,30 @@ func (c *CE) tickVector(now sim.Cycle) isa.Bucket {
 				c.vDone++
 				c.Flops += int64(op.Flops)
 				consumed = true
+				// A very late reply can rescue an abandoned head; clear
+				// the diagnosis so a later element's exhaustion is fresh.
+				c.lost = nil
 			} else {
 				c.StallMem++
 			}
 		}
 	}
-	// Issue (not needed for the prefetch path: the PFU issues).
-	if !op.UsePrefetch && c.vIssued < op.N && len(c.inflight) < c.cfg.MaxOutstanding {
+	// Issue (not needed for the prefetch path: the PFU issues). A head
+	// reissue owns the cycle's injection slot: the retry packet and a
+	// fresh element request must not race for the same network port.
+	reissuing := !op.UsePrefetch && c.retryVectorHead(now)
+	if !op.UsePrefetch && !reissuing && c.vIssued < op.N && len(c.inflight) < c.cfg.MaxOutstanding {
 		addr := op.Base.Word + uint64(c.vIssued*op.Stride)
 		if op.Base.Space == isa.Global {
 			tag := c.newTag()
 			p := &network.Packet{Dst: c.route(addr), Src: c.Port, Words: 1,
 				Kind: network.Read, Addr: addr, Tag: tag, Phantom: true}
 			if c.fwd.Offer(now, c.Port, p) {
-				c.inflight = append(c.inflight, inflightReq{tag: tag})
+				req := inflightReq{tag: tag, addr: addr}
+				if c.cfg.ReadTimeout > 0 {
+					req.retryAt = now + c.cfg.ReadTimeout
+				}
+				c.inflight = append(c.inflight, req)
 				c.vIssued++
 			} else {
 				c.StallNet++
@@ -714,7 +767,54 @@ func (c *CE) tickVector(now sim.Cycle) isa.Bucket {
 	if op.UsePrefetch {
 		return isa.AcctPrefetchWait
 	}
+	if len(c.inflight) > 0 && c.inflight[0].retries > 0 {
+		// Spinning on a reissued head: the backoff window is
+		// fault-recovery time, not ordinary operand latency.
+		return isa.AcctRecovery
+	}
 	return isa.AcctVectorWait
+}
+
+// retryVectorHead applies the per-entry deadline to the head of the
+// inflight queue: an unanswered global element whose deadline has passed
+// is reissued under a fresh tag (the old tag retires through the stale
+// ring so its late reply is swallowed), with the same exponential
+// backoff as the scalar path. Head-only, like the PFU's reissue: in-order
+// consumption means a younger element's deadline only matters once it
+// becomes the head. Returns true when this cycle's injection slot was
+// spent on a retry attempt (successful or refused).
+func (c *CE) retryVectorHead(now sim.Cycle) bool {
+	if c.cfg.ReadTimeout <= 0 || len(c.inflight) == 0 {
+		return false
+	}
+	h := &c.inflight[0]
+	if h.arrived || h.tag == 0 || now < h.retryAt {
+		return false
+	}
+	if h.retries >= c.cfg.MaxRetries {
+		if c.lost == nil {
+			c.RetriesExhausted++
+			c.lost = &lostReq{what: "vector element read", tag: h.tag, addr: h.addr, retries: h.retries}
+		}
+		return false
+	}
+	tag := c.newTag()
+	p := &network.Packet{Dst: c.route(h.addr), Src: c.Port, Words: 1,
+		Kind: network.Read, Addr: h.addr, Tag: tag, Phantom: true}
+	if !c.fwd.Offer(now, c.Port, p) {
+		c.StallNet++
+		return true // port busy: deadline stays due, try again next cycle
+	}
+	c.forgetTag(h.tag)
+	h.tag = tag
+	c.Retries++
+	h.retries++
+	shift := uint(h.retries)
+	if shift > 6 {
+		shift = 6
+	}
+	h.retryAt = now + c.cfg.ReadTimeout<<shift
+	return true
 }
 
 // tickVectorStore issues one store element per cycle; stores are posted
@@ -838,7 +938,7 @@ func (c *CE) retryScalar(now sim.Cycle) {
 	if c.reqRetries >= c.cfg.MaxRetries {
 		if c.lost == nil {
 			c.RetriesExhausted++
-			c.lost = &lostReq{tag: c.waitTag, addr: op.ScalarAddr.Word, retries: c.reqRetries}
+			c.lost = &lostReq{what: "scalar read", tag: c.waitTag, addr: op.ScalarAddr.Word, retries: c.reqRetries}
 		}
 		return
 	}
@@ -860,18 +960,18 @@ func (c *CE) retryScalar(now sim.Cycle) {
 	c.reqRetryAt = now + c.cfg.ReadTimeout<<shift
 }
 
-// FaultReason implements sim.FaultReporter: non-empty once a scalar
-// read's reissues are exhausted, naming the pending request.
+// FaultReason implements sim.FaultReporter: non-empty once a read's
+// reissues are exhausted, naming the pending request.
 func (c *CE) FaultReason() string {
 	if c.lost != nil {
-		return fmt.Sprintf("scalar read of word %#x (tag %d) unanswered after %d reissues",
-			c.lost.addr, c.lost.tag, c.lost.retries)
+		return fmt.Sprintf("%s of word %#x (tag %d) unanswered after %d reissues",
+			c.lost.what, c.lost.addr, c.lost.tag, c.lost.retries)
 	}
 	return ""
 }
 
 func (c *CE) startSync(op *isa.Op, now sim.Cycle) {
-	tag := c.newTag()
+	tag := c.newSyncTag()
 	p := &network.Packet{Dst: c.route(op.SyncAddr), Src: c.Port, Words: 2,
 		Kind: network.Sync, Addr: op.SyncAddr, Sync: op.SyncSpec, Tag: tag}
 	if !c.fwd.Offer(now, c.Port, p) {

@@ -258,7 +258,7 @@ func TestUnmatchedReplySwallowed(t *testing.T) {
 	// drop faults this is reachable (the tag outlived the ring), so it must
 	// be swallowed and counted instead.
 	r := newRig(t)
-	if !r.ce.Deliver(0, &network.Packet{Tag: tagBase + 999, Kind: network.Reply}) {
+	if !r.ce.Deliver(0, &network.Packet{Tag: TagBase + 999, Kind: network.Reply}) {
 		t.Fatal("unmatched reply not accepted")
 	}
 	if r.ce.StaleReplies != 1 || r.ce.LateReplies != 0 {
@@ -277,7 +277,7 @@ func TestStaleRingWrapCountsEvictedReplies(t *testing.T) {
 	n := staleTagCap + extra
 	tags := make([]uint64, n)
 	for i := range tags {
-		tags[i] = tagBase + 1000 + uint64(i)
+		tags[i] = TagBase + 1000 + uint64(i)
 		r.ce.forgetTag(tags[i])
 	}
 	rng := sim.NewRand(0x5EDA2C3D)
@@ -440,7 +440,7 @@ func TestScalarReadRetryRecoversDrop(t *testing.T) {
 	// after one executed cycle (port 0's shuffle wiring); drop it there.
 	r.eng.Run(1)
 	pk := r.fwdOf().DropSwitchHead(0, 0, 0, nil)
-	if pk == nil || pk.Tag < tagBase {
+	if pk == nil || pk.Tag < TagBase {
 		t.Fatalf("dropped %+v, want the CE's tagged read", pk)
 	}
 	r.runToIdle(t)
@@ -495,6 +495,99 @@ func TestScalarRetriesExhaustedSurfacesErrDeadline(t *testing.T) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
 	for _, want := range []string{"ce", "scalar read of word 0x9", "unanswered after 2 reissues"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadline error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestVectorReadRetryRecoversDrop(t *testing.T) {
+	// Drop a direct vector stream element's request: the inflight head's
+	// per-entry deadline must reissue it under a fresh tag and the op
+	// must complete with every element, charging the backoff window to
+	// the recovery bucket.
+	r := newCfgRig(t, retryCfg(30, 3))
+	for w := uint64(0); w < 4; w++ {
+		r.g.StoreWord(w, 100+w)
+	}
+	op := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 0}, 4, 1, 2, false)
+	r.ce.SetProgram(isa.NewSeq(op))
+	// Dispatch at cycle 0, vector startup 12: the first element issues at
+	// cycle 12 and sits in stage-0 switch 0 input 0 after that executed
+	// cycle (port 0's shuffle wiring); drop it there.
+	r.eng.Run(13)
+	pk := r.fwdOf().DropSwitchHead(0, 0, 0, nil)
+	if pk == nil || pk.Tag < TagBase {
+		t.Fatalf("dropped %+v, want the CE's first element read", pk)
+	}
+	r.runToIdle(t)
+	r.eng.Settle()
+	if r.ce.Flops != 4*2 {
+		t.Fatalf("Flops = %d after recovery, want 8", r.ce.Flops)
+	}
+	if r.ce.Retries != 1 || r.ce.RetriesExhausted != 0 {
+		t.Fatalf("Retries=%d Exhausted=%d, want 1,0", r.ce.Retries, r.ce.RetriesExhausted)
+	}
+	if got := r.ce.Acct.Cycles[isa.AcctRecovery]; got == 0 {
+		t.Fatal("no cycles charged to recovery across a reissued vector head")
+	}
+	if reason := r.ce.FaultReason(); reason != "" {
+		t.Fatalf("healthy CE reports fault %q", reason)
+	}
+}
+
+func TestVectorReissuedThenAgedOutReplyIsStale(t *testing.T) {
+	// The stale-ring <-> inflight-reissue interaction: a reply for a tag
+	// that was reissued and then aged out of the ring must be swallowed
+	// into StaleReplies — not resurrect the inflight entry, not panic.
+	r := newCfgRig(t, retryCfg(30, 3))
+	r.g.StoreWord(9, 777)
+	r.fwdOf().StallEntry(0, 0, 60) // delay the original past the deadline
+	var got int64
+	op := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 9}, 1, 1, 0, false)
+	op.OnDone = func(int64, bool) { got = int64(r.g.LoadWord(9)) }
+	r.ce.SetProgram(isa.NewSeq(op))
+	if _, err := r.eng.RunUntil(func() bool { return r.ce.Retries == 1 }, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Age the reissued original's tag out of the ring before its delayed
+	// reply lands: push a full ring's worth of newer forgotten tags.
+	for i := 0; i < staleTagCap; i++ {
+		r.ce.forgetTag(TagBase + 5000 + uint64(i))
+	}
+	r.runToIdle(t)
+	if got != 777 {
+		t.Fatalf("vector element read %d after recovery, want 777", got)
+	}
+	if r.ce.OpsDone != 1 || len(r.ce.inflight) != 0 {
+		t.Fatalf("OpsDone=%d inflight=%d, want 1,0", r.ce.OpsDone, len(r.ce.inflight))
+	}
+	// The original's reply found neither the inflight queue (fresh tag)
+	// nor the ring (aged out): stale, not late.
+	if r.ce.StaleReplies != 1 || r.ce.LateReplies != 0 {
+		t.Fatalf("StaleReplies=%d LateReplies=%d, want 1,0", r.ce.StaleReplies, r.ce.LateReplies)
+	}
+}
+
+func TestVectorRetriesExhaustedSurfacesErrDeadline(t *testing.T) {
+	// Every element issue and reissue is dropped: the head must exhaust
+	// its budget and the run must end in ErrDeadline naming the CE and
+	// the pending element — no hang, no panic.
+	r := newCfgRig(t, retryCfg(10, 2))
+	op := isa.NewVectorLoad(isa.Addr{Space: isa.Global, Word: 9}, 1, 1, 0, false)
+	r.ce.SetProgram(isa.NewSeq(op))
+	for i := 0; i < 200; i++ {
+		r.eng.Run(1)
+		r.fwdOf().DropSwitchHead(0, 0, 0, nil)
+	}
+	if r.ce.RetriesExhausted != 1 || r.ce.Retries != 2 {
+		t.Fatalf("RetriesExhausted=%d Retries=%d, want 1,2", r.ce.RetriesExhausted, r.ce.Retries)
+	}
+	_, err := r.eng.RunUntil(r.ce.Idle, 5000)
+	if !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	for _, want := range []string{"ce", "vector element read of word 0x9", "unanswered after 2 reissues"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("deadline error %q missing %q", err, want)
 		}

@@ -60,6 +60,18 @@ type Cluster struct {
 	IPs *IP
 
 	allocNext uint64
+
+	// busStallUntil is the concurrency bus's fault stall window: claim
+	// and concurrent-start operations starting before it pay the
+	// remaining window on top of their normal cost (injected via
+	// FaultBusStall). Service is deferred, never lost — an op caught in
+	// the window simply takes longer, so no recovery protocol is needed.
+	busStallUntil sim.Cycle
+
+	// Bus fault counters.
+	BusFaults      int64 // injected bus stall windows
+	BusStalledOps  int64 // bus operations stretched by a window
+	BusStallCycles int64 // total extra cycles charged to stretched ops
 }
 
 // New assembles a cluster around pre-built CEs and their shared cache.
@@ -98,6 +110,34 @@ func (cl *Cluster) Idle() bool {
 	return true
 }
 
+// FaultBusStall stalls the concurrency bus for window cycles starting
+// at now: claim and concurrent-start operations that begin inside the
+// window are stretched by its remainder (the injected analogue of bus
+// arbitration being monopolized by diagnostics traffic). Overlapping
+// injections extend the window, never shrink it.
+func (cl *Cluster) FaultBusStall(now sim.Cycle, window sim.Cycle) {
+	if until := now + window; until > cl.busStallUntil {
+		cl.busStallUntil = until
+	}
+	cl.BusFaults++
+}
+
+// busExtraCost is the isa.Op.ExtraCost hook attached to bus operations:
+// evaluated once at the op's start cycle, it charges the remainder of
+// any active stall window. Start cycles are CE tick slots, identical in
+// every engine mode, and a cluster's CEs all tick inside the cluster's
+// own scheduling domain in parallel mode, so the counter updates here
+// are domain-local and need no sim.Boundary deferral.
+func (cl *Cluster) busExtraCost(now sim.Cycle) sim.Cycle {
+	if now >= cl.busStallUntil {
+		return 0
+	}
+	extra := cl.busStallUntil - now
+	cl.BusStalledOps++
+	cl.BusStallCycles += int64(extra)
+	return extra
+}
+
 // SpreadOp returns the micro-operation an initiating CE executes to
 // perform a concurrent start: it occupies the initiator for the bus
 // spread cost and then assigns each cluster CE its program. progs[i] may
@@ -110,6 +150,7 @@ func (cl *Cluster) SpreadOp(progs []isa.Program) *isa.Op {
 		panic(fmt.Sprintf("cluster %d: %d programs for %d CEs", cl.ID, len(progs), len(cl.CEs)))
 	}
 	op := isa.NewCompute(cl.cfg.SpreadCycles)
+	op.ExtraCost = cl.busExtraCost
 	op.Do = func() {
 		for i, p := range progs {
 			if p == nil {
@@ -138,7 +179,9 @@ func (cl *Cluster) SelfSchedule(n int, body func(iter int, g *isa.Gen)) []isa.Pr
 			}
 			iter := next
 			next++
-			g.Emit(isa.NewCompute(cl.cfg.ClaimCycles))
+			claim := isa.NewCompute(cl.cfg.ClaimCycles)
+			claim.ExtraCost = cl.busExtraCost
+			g.Emit(claim)
 			body(iter, g)
 			return true
 		})

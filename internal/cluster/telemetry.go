@@ -14,3 +14,11 @@ func (ip *IP) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/fault_delays", &ip.FaultDelays)
 	reg.Gauge(prefix+"/pending", func() int64 { return int64(ip.Pending()) })
 }
+
+// RegisterMetrics publishes the cluster's concurrency-bus fault counters
+// under prefix (for example "cluster0/bus").
+func (cl *Cluster) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"/fault_stalls", &cl.BusFaults)
+	reg.Counter(prefix+"/stalled_ops", &cl.BusStalledOps)
+	reg.Counter(prefix+"/stall_cycles", &cl.BusStallCycles)
+}

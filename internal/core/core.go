@@ -299,10 +299,18 @@ func New(cfg Config) (*Machine, error) {
 			stoppable[i] = c
 		}
 		faultIPs := make([]fault.FaultableIP, len(m.Clusters))
+		faultCaches := make([]fault.FaultableCache, len(m.Clusters))
+		faultBuses := make([]fault.FaultableBus, len(m.Clusters))
 		for i, clu := range m.Clusters {
 			faultIPs[i] = clu.IPs
+			faultCaches[i] = clu.Cache
+			faultBuses[i] = clu
 		}
-		m.FaultInj = fault.NewInjector(cfg.Fault, fwd, rev, mods, stoppable, faultIPs)
+		// The cache and bus hooks are written from the injector's pre-band
+		// tick slot (before the parallel fork) and read by domain-owned
+		// components after it, so the fork's happens-before edge covers
+		// them with no sim.Boundary deferral.
+		m.FaultInj = fault.NewInjector(cfg.Fault, fwd, rev, mods, stoppable, faultIPs, faultCaches, faultBuses)
 	}
 
 	// Tick order: CEs, prefetch units, forward network, memory modules,

@@ -35,6 +35,7 @@ func (m *Machine) registerAll(reg *telemetry.Registry) {
 			c.PFU().RegisterMetrics(reg, fmt.Sprintf("cluster%d/pfu%d", cl, i))
 		}
 		clu.Cache.RegisterMetrics(reg, fmt.Sprintf("cluster%d/cache", cl))
+		clu.RegisterMetrics(reg, fmt.Sprintf("cluster%d/bus", cl))
 		if clu.IPs != nil {
 			clu.IPs.RegisterMetrics(reg, fmt.Sprintf("cluster%d/ip", cl))
 		}

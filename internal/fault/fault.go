@@ -1,24 +1,35 @@
 // Package fault injects deterministic transient faults into the Cedar
-// model: omega-network switch-port stalls and dropped packets, global
-// memory-module busy and degraded-service (ECC-retry) windows, CE
-// check-stops, and interactive-processor busy windows and delayed I/O
-// completions. Every fault is drawn from a seeded schedule, so a run with
-// a given seed is exactly reproducible — and, because the injector is a
-// sim.IdleComponent registered ahead of the architected components, the
-// schedule lands on identical cycles in all three engine modes, keeping
-// fault-injected runs bit-identical across naive, quiescent, and
-// wake-cached execution.
+// model: omega-network switch-port stalls and dropped packets (prefetch
+// and CE direct tags), global memory-module busy and degraded-service
+// (ECC-retry) windows, CE check-stops, interactive-processor busy
+// windows and delayed I/O completions, cluster-cache bank busy windows,
+// and concurrency-bus stalls. Every fault is drawn from a seeded
+// schedule, so a run with a given seed is exactly reproducible — and,
+// because the injector is a sim.IdleComponent registered ahead of the
+// architected components, the schedule lands on identical cycles in all
+// four engine modes, keeping fault-injected runs bit-identical across
+// naive, quiescent, wake-cached, and cluster-parallel execution. In
+// parallel mode all injection happens in the pre-band phase (the
+// injector is a global component ticked by the coordinator before the
+// domains fork), so hazard windows written here are visible to every
+// domain through the fork's happens-before edge with no sim.Boundary
+// deferral needed.
 //
 // Recovery is the other half of the model and lives with the affected
-// layers: request-layer timeout and reissue in prefetch and ce, graceful
-// degradation in gmem, and Xylem-level gang rescheduling of a cluster
-// task off a check-stopped CE. The injector only creates the hazards and
-// repairs check-stopped CEs after a repair window.
+// layers: request-layer timeout and reissue in prefetch and ce (both
+// scalar reads and direct vector stream elements), graceful degradation
+// in gmem, deferred service in the cache banks and the concurrency bus
+// (which never lose state, so waiting is the whole recovery), and
+// Xylem-level gang rescheduling of a cluster task off a check-stopped
+// CE. The injector only creates the hazards and repairs check-stopped
+// CEs after a repair window.
 package fault
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/ce"
 	"repro/internal/gmem"
 	"repro/internal/network"
 	"repro/internal/prefetch"
@@ -35,10 +46,9 @@ const (
 	// output port, or a delivery link) for StallWindow cycles.
 	NetStall Kind = iota
 	// NetDrop discards one in-flight prefetch packet (request or reply).
-	// Only prefetch-tagged Read/Reply packets are droppable: sync
-	// operations are not idempotent at the module, and CE direct reads
-	// rely on delay-only faults so every stale tag's reply eventually
-	// arrives.
+	// Only prefetch-tagged Read/Reply packets are droppable by this
+	// kind; CEDrop covers CE direct tags, and sync packets are never
+	// droppable (the Test-And-Operate at the module is not idempotent).
 	NetDrop
 	// MemBusy makes one memory module refuse to start service for
 	// BusyWindow cycles (a controller check-stop with fast restart).
@@ -57,6 +67,20 @@ const (
 	// IPDelay inflates the service time of the next transfer an IP
 	// starts by IPDelayPenalty cycles (a slow seek / retried sector).
 	IPDelay
+	// CacheBankBusy monopolizes one cluster-cache bank for
+	// CacheBusyWindow cycles: all of the bank's ports refuse service
+	// until the window expires. Recovery is structural — every cache
+	// client already retries refused accesses next cycle.
+	CacheBankBusy
+	// BusStall stalls one cluster's concurrency bus for BusStallWindow
+	// cycles: claim and concurrent-start operations beginning inside the
+	// window are stretched by its remainder.
+	BusStall
+	// CEDrop discards one in-flight CE direct-tagged packet (a scalar
+	// read or vector stream element, request or reply). Recovery is the
+	// CE's inflight-queue timeout-and-reissue path; sync tags live in a
+	// separate namespace and are never droppable.
+	CEDrop
 	numKinds
 )
 
@@ -77,8 +101,24 @@ func (k Kind) String() string {
 		return "ip-busy"
 	case IPDelay:
 		return "ip-delay"
+	case CacheBankBusy:
+		return "cache-bank-busy"
+	case BusStall:
+		return "bus-stall"
+	case CEDrop:
+		return "ce-drop"
 	}
 	return "unknown"
+}
+
+// KindNames lists every fault kind's mnemonic, in declaration order —
+// the vocabulary of Config.EnableOnly and cedarsim's -fault-kinds.
+func KindNames() []string {
+	names := make([]string, 0, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		names = append(names, k.String())
+	}
+	return names
 }
 
 // Config parameterizes the fault schedule and the recovery knobs the
@@ -92,13 +132,16 @@ type Config struct {
 	MeanInterval sim.Cycle
 
 	// Enable flags per fault class. DefaultConfig enables all.
-	EnableNetStall   bool
-	EnableNetDrop    bool
-	EnableMemBusy    bool
-	EnableMemDegrade bool
-	EnableCheckStop  bool
-	EnableIPBusy     bool
-	EnableIPDelay    bool
+	EnableNetStall      bool
+	EnableNetDrop       bool
+	EnableMemBusy       bool
+	EnableMemDegrade    bool
+	EnableCheckStop     bool
+	EnableIPBusy        bool
+	EnableIPDelay       bool
+	EnableCacheBankBusy bool
+	EnableBusStall      bool
+	EnableCEDrop        bool
 
 	// StallWindow is the duration of a network resource stall.
 	StallWindow sim.Cycle
@@ -118,6 +161,10 @@ type Config struct {
 	// transfer.
 	IPBusyWindow   sim.Cycle
 	IPDelayPenalty sim.Cycle
+	// CacheBusyWindow is the duration of a cache-bank busy fault;
+	// BusStallWindow the duration of a concurrency-bus stall.
+	CacheBusyWindow sim.Cycle
+	BusStallWindow  sim.Cycle
 	// ReadTimeout and MaxRetries are the request-layer recovery knobs the
 	// builder pushes into every CE and PFU when the subsystem is enabled.
 	ReadTimeout sim.Cycle
@@ -129,25 +176,66 @@ type Config struct {
 // chosen.
 func DefaultConfig(seed uint64) Config {
 	return Config{
-		Seed:              seed,
-		EnableNetStall:    true,
-		EnableNetDrop:     true,
-		EnableMemBusy:     true,
-		EnableMemDegrade:  true,
-		EnableCheckStop:   true,
-		EnableIPBusy:      true,
-		EnableIPDelay:     true,
-		StallWindow:       20,
-		BusyWindow:        30,
-		DegradeWindow:     200,
-		DegradePenalty:    2,
-		IPBusyWindow:      400,
-		IPDelayPenalty:    120,
-		RepairWindow:      2000,
-		RescheduleLatency: 500,
-		ReadTimeout:       200,
-		MaxRetries:        6,
+		Seed:                seed,
+		EnableNetStall:      true,
+		EnableNetDrop:       true,
+		EnableMemBusy:       true,
+		EnableMemDegrade:    true,
+		EnableCheckStop:     true,
+		EnableIPBusy:        true,
+		EnableIPDelay:       true,
+		EnableCacheBankBusy: true,
+		EnableBusStall:      true,
+		EnableCEDrop:        true,
+		StallWindow:         20,
+		BusyWindow:          30,
+		DegradeWindow:       200,
+		DegradePenalty:      2,
+		IPBusyWindow:        400,
+		IPDelayPenalty:      120,
+		CacheBusyWindow:     25,
+		BusStallWindow:      40,
+		RepairWindow:        2000,
+		RescheduleLatency:   500,
+		ReadTimeout:         200,
+		MaxRetries:          6,
 	}
+}
+
+// EnableOnly restricts the schedule to the named kinds (mnemonics from
+// KindNames), clearing every other enable flag. An unknown name or an
+// empty list is an error, reported before any flag is modified.
+func (c *Config) EnableOnly(names []string) error {
+	flags := map[string]*bool{
+		NetStall.String():      &c.EnableNetStall,
+		NetDrop.String():       &c.EnableNetDrop,
+		MemBusy.String():       &c.EnableMemBusy,
+		MemDegrade.String():    &c.EnableMemDegrade,
+		CheckStop.String():     &c.EnableCheckStop,
+		IPBusy.String():        &c.EnableIPBusy,
+		IPDelay.String():       &c.EnableIPDelay,
+		CacheBankBusy.String(): &c.EnableCacheBankBusy,
+		BusStall.String():      &c.EnableBusStall,
+		CEDrop.String():        &c.EnableCEDrop,
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("fault: no kinds named (known: %s)", strings.Join(KindNames(), ","))
+	}
+	picked := make([]*bool, 0, len(names))
+	for _, name := range names {
+		f, ok := flags[name]
+		if !ok {
+			return fmt.Errorf("fault: unknown kind %q (known: %s)", name, strings.Join(KindNames(), ","))
+		}
+		picked = append(picked, f)
+	}
+	for _, f := range flags {
+		*f = false
+	}
+	for _, f := range picked {
+		*f = true
+	}
+	return nil
 }
 
 // Enabled reports whether the schedule injects anything.
@@ -176,14 +264,35 @@ func (c Config) kinds() []Kind {
 	if c.EnableIPDelay {
 		ks = append(ks, IPDelay)
 	}
+	if c.EnableCacheBankBusy {
+		ks = append(ks, CacheBankBusy)
+	}
+	if c.EnableBusStall {
+		ks = append(ks, BusStall)
+	}
+	if c.EnableCEDrop {
+		ks = append(ks, CEDrop)
+	}
 	return ks
 }
 
 // Droppable is the predicate the injector hands to the network drop
-// hooks: only prefetch-tagged data packets may vanish, because the PFU's
-// timeout/reissue path is the one recovery layer that tolerates loss.
+// hooks for NetDrop: only prefetch-tagged data packets may vanish,
+// because the PFU's timeout/reissue path tolerates loss.
 func Droppable(p *network.Packet) bool {
-	return (p.Kind == network.Read || p.Kind == network.Reply) && p.Tag < prefetch.BufferWords
+	return (p.Kind == network.Read || p.Kind == network.Reply) && p.Tag < prefetch.TagSpan
+}
+
+// DroppableCE is the CEDrop predicate: data packets carrying CE direct
+// request tags — scalar reads and vector stream elements, whose loss
+// the CE's inflight-queue timeout-and-reissue path recovers. Sync
+// packets are excluded by tag range: a sync reply is an ordinary
+// network.Reply distinguishable only by its tag living at or above
+// ce.SyncTagBase, and the Test-And-Operate it answers must never be
+// reissued.
+func DroppableCE(p *network.Packet) bool {
+	return (p.Kind == network.Read || p.Kind == network.Reply) &&
+		p.Tag >= ce.TagBase && p.Tag < ce.SyncTagBase
 }
 
 // StoppableCE is the slice of the CE the injector drives for check-stop
@@ -201,6 +310,21 @@ type StoppableCE interface {
 type FaultableIP interface {
 	FaultBusy(now, window sim.Cycle)
 	FaultDelayNext(extra sim.Cycle)
+}
+
+// FaultableCache is the slice of the cluster cache the injector drives
+// for bank-busy faults; cache.Cache satisfies it. The hook only defers
+// port service (callers retry refused accesses), never losing state.
+type FaultableCache interface {
+	FaultBankBusy(now sim.Cycle, bank int, window sim.Cycle)
+	Banks() int
+}
+
+// FaultableBus is the slice of the cluster's concurrency bus the
+// injector drives for bus-stall faults; cluster.Cluster satisfies it.
+// The hook only stretches operations that start inside the window.
+type FaultableBus interface {
+	FaultBusStall(now sim.Cycle, window sim.Cycle)
 }
 
 // repairTimer schedules the repair of a check-stopped CE.
@@ -223,6 +347,8 @@ type Injector struct {
 	mods     []*gmem.Module
 	ces      []StoppableCE
 	ips      []FaultableIP
+	caches   []FaultableCache
+	buses    []FaultableBus
 
 	next    sim.Cycle
 	repairs []repairTimer
@@ -236,6 +362,9 @@ type Injector struct {
 	CheckStops  int64
 	IPBusies    int64
 	IPDelays    int64
+	CacheBusies int64
+	BusStalls   int64
+	CEDrops     int64
 	Repairs     int64
 	NoTarget    int64 // scheduled faults with no eligible target (skipped)
 }
@@ -243,7 +372,7 @@ type Injector struct {
 // NewInjector builds an injector over the machine's fault surfaces. It
 // panics if the config is not Enabled or enables no fault kind: the
 // builder must simply not construct an injector for a fault-free run.
-func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces []StoppableCE, ips []FaultableIP) *Injector {
+func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces []StoppableCE, ips []FaultableIP, caches []FaultableCache, buses []FaultableBus) *Injector {
 	if !cfg.Enabled() {
 		panic("fault: NewInjector with a disabled config")
 	}
@@ -252,18 +381,25 @@ func NewInjector(cfg Config, fwd, rev *network.Network, mods []*gmem.Module, ces
 		panic("fault: no fault kinds enabled")
 	}
 	inj := &Injector{
-		cfg:   cfg,
-		rng:   sim.NewRand(cfg.Seed),
-		kinds: kinds,
-		fwd:   fwd,
-		rev:   rev,
-		mods:  mods,
-		ces:   ces,
-		ips:   ips,
+		cfg:    cfg,
+		rng:    sim.NewRand(cfg.Seed),
+		kinds:  kinds,
+		fwd:    fwd,
+		rev:    rev,
+		mods:   mods,
+		ces:    ces,
+		ips:    ips,
+		caches: caches,
+		buses:  buses,
 	}
 	inj.next = inj.gap()
 	return inj
 }
+
+// PendingRepairs reports the check-stopped CEs still awaiting their
+// repair timer — the census term that balances CheckStops against
+// Repairs when a run ends mid-window.
+func (inj *Injector) PendingRepairs() int { return len(inj.repairs) }
 
 // gap draws the next inter-fault interval: uniform on [1, 2*MeanInterval],
 // mean ~MeanInterval.
@@ -343,6 +479,25 @@ func (inj *Injector) inject(now sim.Cycle) {
 		inj.ips[inj.rng.Intn(len(inj.ips))].FaultDelayNext(inj.cfg.IPDelayPenalty)
 		inj.IPDelays++
 		inj.Injected++
+	case CacheBankBusy:
+		if len(inj.caches) == 0 {
+			inj.NoTarget++
+			return
+		}
+		ch := inj.caches[inj.rng.Intn(len(inj.caches))]
+		ch.FaultBankBusy(now, inj.rng.Intn(ch.Banks()), inj.cfg.CacheBusyWindow)
+		inj.CacheBusies++
+		inj.Injected++
+	case BusStall:
+		if len(inj.buses) == 0 {
+			inj.NoTarget++
+			return
+		}
+		inj.buses[inj.rng.Intn(len(inj.buses))].FaultBusStall(now, inj.cfg.BusStallWindow)
+		inj.BusStalls++
+		inj.Injected++
+	case CEDrop:
+		inj.injectCEDrop(now)
 	}
 }
 
@@ -389,6 +544,34 @@ func (inj *Injector) injectNetDrop(now sim.Cycle) {
 	inj.Injected++
 }
 
+// injectCEDrop discards one in-flight CE direct-tagged packet, from the
+// same drop surfaces as NetDrop but selected by DroppableCE. Unlike the
+// prefetch streams NetDrop feeds on, CE direct traffic is sparse — a
+// handful of outstanding reads per CE — so a single random probe would
+// miss almost every time. The chosen network's surfaces are scanned in
+// deterministic order instead, and the first matching packet dies;
+// NoTarget means no CE direct packet was in flight there at all.
+func (inj *Injector) injectCEDrop(now sim.Cycle) {
+	n := inj.pickNet()
+	var pk *network.Packet
+	for p := 0; p < n.Ports() && pk == nil; p++ {
+		pk = n.DropEntryHead(p, DroppableCE)
+	}
+	for s := 0; s < n.Stages() && pk == nil; s++ {
+		for swi := 0; swi < n.Ports()/n.Radix() && pk == nil; swi++ {
+			for in := 0; in < n.Radix() && pk == nil; in++ {
+				pk = n.DropSwitchHead(s, swi, in, DroppableCE)
+			}
+		}
+	}
+	if pk == nil {
+		inj.NoTarget++
+		return
+	}
+	inj.CEDrops++
+	inj.Injected++
+}
+
 func (inj *Injector) injectCheckStop(now sim.Cycle) {
 	c := inj.rng.Intn(len(inj.ces))
 	if inj.ces[c].CheckStopped() {
@@ -412,6 +595,9 @@ func (inj *Injector) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/check_stops", &inj.CheckStops)
 	reg.Counter(prefix+"/ip_busies", &inj.IPBusies)
 	reg.Counter(prefix+"/ip_delays", &inj.IPDelays)
+	reg.Counter(prefix+"/cache_busies", &inj.CacheBusies)
+	reg.Counter(prefix+"/bus_stalls", &inj.BusStalls)
+	reg.Counter(prefix+"/ce_drops", &inj.CEDrops)
 	reg.Counter(prefix+"/repairs", &inj.Repairs)
 	reg.Counter(prefix+"/no_target", &inj.NoTarget)
 }
@@ -426,6 +612,9 @@ func (inj *Injector) SummaryTable() *report.Table {
 	t.AddRow(CheckStop.String(), fmt.Sprint(inj.CheckStops))
 	t.AddRow(IPBusy.String(), fmt.Sprint(inj.IPBusies))
 	t.AddRow(IPDelay.String(), fmt.Sprint(inj.IPDelays))
+	t.AddRow(CacheBankBusy.String(), fmt.Sprint(inj.CacheBusies))
+	t.AddRow(BusStall.String(), fmt.Sprint(inj.BusStalls))
+	t.AddRow(CEDrop.String(), fmt.Sprint(inj.CEDrops))
 	t.AddRow("repairs", fmt.Sprint(inj.Repairs))
 	t.AddRow("no-target", fmt.Sprint(inj.NoTarget))
 	t.AddNote(fmt.Sprintf("seed %#x, mean interval %d cycles", inj.cfg.Seed, inj.cfg.MeanInterval))

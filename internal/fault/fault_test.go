@@ -44,15 +44,36 @@ type fakeIP struct {
 func (f *fakeIP) FaultBusy(now, window sim.Cycle) { f.busies++ }
 func (f *fakeIP) FaultDelayNext(extra sim.Cycle)  { f.delays++ }
 
+// fakeCache is a FaultableCache recording injected bank-busy windows.
+type fakeCache struct {
+	busies int64
+	banks  []int
+}
+
+func (f *fakeCache) FaultBankBusy(now sim.Cycle, bank int, window sim.Cycle) {
+	f.busies++
+	f.banks = append(f.banks, bank)
+}
+func (f *fakeCache) Banks() int { return 4 }
+
+// fakeBus is a FaultableBus recording injected stall windows.
+type fakeBus struct {
+	stalls int64
+}
+
+func (f *fakeBus) FaultBusStall(now sim.Cycle, window sim.Cycle) { f.stalls++ }
+
 type faultRig struct {
-	eng  *sim.Engine
-	inj  *Injector
-	fwd  *network.Network
-	rev  *network.Network
-	g    *gmem.Global
-	mods []*gmem.Module
-	ces  []*stopCE
-	ips  []*fakeIP
+	eng    *sim.Engine
+	inj    *Injector
+	fwd    *network.Network
+	rev    *network.Network
+	g      *gmem.Global
+	mods   []*gmem.Module
+	ces    []*stopCE
+	ips    []*fakeIP
+	caches []*fakeCache
+	buses  []*fakeBus
 }
 
 func newFaultRig(t *testing.T, cfg Config) *faultRig {
@@ -82,19 +103,31 @@ func newFaultRig(t *testing.T, cfg Config) *faultRig {
 	for _, ip := range ips {
 		faultable = append(faultable, ip)
 	}
-	inj := NewInjector(cfg, fwd, rev, mods, stoppable, faultable)
+	caches := []*fakeCache{{}, {}}
+	var faultCaches []FaultableCache
+	for _, c := range caches {
+		faultCaches = append(faultCaches, c)
+	}
+	buses := []*fakeBus{{}, {}}
+	var faultBuses []FaultableBus
+	for _, b := range buses {
+		faultBuses = append(faultBuses, b)
+	}
+	inj := NewInjector(cfg, fwd, rev, mods, stoppable, faultable, faultCaches, faultBuses)
 	eng.Register("fault", inj) // injector first: its tick slot precedes all targets
 	eng.Register("fwd", fwd)
 	for _, m := range mods {
 		eng.Register("mod", m)
 	}
 	eng.Register("rev", rev)
-	return &faultRig{eng: eng, inj: inj, fwd: fwd, rev: rev, g: g, mods: mods, ces: ces, ips: ips}
+	return &faultRig{eng: eng, inj: inj, fwd: fwd, rev: rev, g: g, mods: mods,
+		ces: ces, ips: ips, caches: caches, buses: buses}
 }
 
-func census(inj *Injector) [10]int64 {
-	return [10]int64{inj.Injected, inj.NetStalls, inj.NetDrops, inj.MemBusies,
+func census(inj *Injector) [13]int64 {
+	return [13]int64{inj.Injected, inj.NetStalls, inj.NetDrops, inj.MemBusies,
 		inj.MemDegrades, inj.CheckStops, inj.IPBusies, inj.IPDelays,
+		inj.CacheBusies, inj.BusStalls, inj.CEDrops,
 		inj.Repairs, inj.NoTarget}
 }
 
@@ -125,7 +158,8 @@ func TestAllEnabledKindsEventuallyFire(t *testing.T) {
 	r := newFaultRig(t, cfg)
 	r.eng.Run(50000)
 	if r.inj.NetStalls == 0 || r.inj.MemBusies == 0 || r.inj.MemDegrades == 0 ||
-		r.inj.CheckStops == 0 || r.inj.IPBusies == 0 || r.inj.IPDelays == 0 {
+		r.inj.CheckStops == 0 || r.inj.IPBusies == 0 || r.inj.IPDelays == 0 ||
+		r.inj.CacheBusies == 0 || r.inj.BusStalls == 0 {
 		t.Fatalf("kinds missing from a long run: %+v", census(r.inj))
 	}
 	// Module-side effects landed.
@@ -152,9 +186,29 @@ func TestAllEnabledKindsEventuallyFire(t *testing.T) {
 		t.Fatalf("IP counters (%d busy, %d delay) disagree with injector (%d, %d)",
 			ipBusies, ipDelays, r.inj.IPBusies, r.inj.IPDelays)
 	}
+	// Cache- and bus-side effects landed.
+	var cacheBusies, busStalls int64
+	for _, c := range r.caches {
+		cacheBusies += c.busies
+		for _, b := range c.banks {
+			if b < 0 || b >= 4 {
+				t.Fatalf("bank index %d outside the cache's 4 banks", b)
+			}
+		}
+	}
+	for _, b := range r.buses {
+		busStalls += b.stalls
+	}
+	if cacheBusies != r.inj.CacheBusies || busStalls != r.inj.BusStalls {
+		t.Fatalf("cache/bus counters (%d busy, %d stall) disagree with injector (%d, %d)",
+			cacheBusies, busStalls, r.inj.CacheBusies, r.inj.BusStalls)
+	}
 	// Idle networks carry nothing droppable: every drop is a no-target.
 	if r.inj.NetDrops != 0 {
 		t.Fatalf("dropped %d packets from an idle network", r.inj.NetDrops)
+	}
+	if r.inj.CEDrops != 0 {
+		t.Fatalf("dropped %d CE packets from an idle network", r.inj.CEDrops)
 	}
 }
 
@@ -226,13 +280,67 @@ func TestDroppablePredicate(t *testing.T) {
 	}
 }
 
+func TestDroppableCEPredicate(t *testing.T) {
+	cases := []struct {
+		p    network.Packet
+		want bool
+	}{
+		{network.Packet{Kind: network.Read, Tag: 1<<20 + 1}, true},   // CE direct read
+		{network.Packet{Kind: network.Reply, Tag: 1<<20 + 7}, true},  // CE direct reply
+		{network.Packet{Kind: network.Read, Tag: 5}, false},          // prefetch tag
+		{network.Packet{Kind: network.Reply, Tag: 511}, false},       // prefetch tag
+		{network.Packet{Kind: network.Reply, Tag: 1<<28 + 1}, false}, // sync reply: never droppable
+		{network.Packet{Kind: network.Sync, Tag: 1<<28 + 1}, false},
+		{network.Packet{Kind: network.Write, Tag: 1<<20 + 1}, false},
+	}
+	for i, c := range cases {
+		if got := DroppableCE(&c.p); got != c.want {
+			t.Fatalf("case %d: DroppableCE(%v tag %d) = %v, want %v", i, c.p.Kind, c.p.Tag, got, c.want)
+		}
+	}
+}
+
+func TestEnableOnly(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if err := cfg.EnableOnly([]string{"ce-drop", "bus-stall"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.kinds(); len(got) != 2 || got[0] != BusStall || got[1] != CEDrop {
+		t.Fatalf("EnableOnly kept kinds %v, want [bus-stall ce-drop]", got)
+	}
+	cfg = DefaultConfig(1)
+	if err := cfg.EnableOnly([]string{"net-stall", "bogus"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the unknown kind: %v", err)
+	}
+	if len(cfg.kinds()) != len(KindNames()) {
+		t.Fatal("failed EnableOnly modified the config")
+	}
+	if err := cfg.EnableOnly(nil); err == nil {
+		t.Fatal("empty kind list accepted")
+	}
+}
+
+func TestKindNamesCoverEveryKind(t *testing.T) {
+	names := KindNames()
+	if len(names) != int(numKinds) {
+		t.Fatalf("KindNames has %d entries for %d kinds", len(names), numKinds)
+	}
+	for i, n := range names {
+		if n == "unknown" {
+			t.Fatalf("kind %d has no mnemonic", i)
+		}
+	}
+}
+
 func TestDisabledConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("NewInjector with MeanInterval 0 did not panic")
 		}
 	}()
-	NewInjector(DefaultConfig(1), nil, nil, nil, nil, nil)
+	NewInjector(DefaultConfig(1), nil, nil, nil, nil, nil, nil, nil)
 }
 
 func TestSummaryTableRenders(t *testing.T) {

@@ -138,6 +138,16 @@ type Op struct {
 	// issuing CE names the request.
 	IOLabel string
 
+	// ExtraCost, if non-nil on a Compute operation, is evaluated once at
+	// the cycle the op starts and returns additional cycles to charge on
+	// top of Cycles. The concurrency bus uses it to stretch claim and
+	// concurrent-start operations caught inside a fault stall window:
+	// the op's start cycle is a CE tick slot, identical in every engine
+	// mode, so the charged cost — and any counters the hook updates —
+	// stay mode-bit-identical. The hook must return a non-negative,
+	// deterministic function of simulated state at the start cycle.
+	ExtraCost func(now sim.Cycle) sim.Cycle
+
 	// Do, if non-nil, runs when the operation completes: the functional
 	// payload (actual arithmetic on backing slices).
 	Do func()

@@ -27,6 +27,23 @@ import (
 // also the maximum number of outstanding requests.
 const BufferWords = 512
 
+// tagEpochBits sizes the per-slot instance epoch carried in the upper
+// bits of every request tag (low bits: the buffer slot). With the
+// reissue machinery a reply can outlive its request instance — the
+// original answer of a reissued read arriving after its slot has moved
+// on to a later lap of the buffer, or a later prefetch entirely. The
+// epoch lets Deliver recognize such a reply as stale and swallow it
+// instead of either accepting another instance's data into the slot or
+// refusing delivery (a refused reverse-network head is retried forever,
+// which wedges the port). 1024 epochs per slot is far deeper than any
+// network can hold packets, so a wrapped epoch cannot alias a live one.
+const tagEpochBits = 10
+
+// TagSpan bounds the prefetch tag namespace [0, TagSpan): slot in the
+// low bits, epoch above. Packet routing uses it to tell prefetch replies
+// from CE direct-tag replies, so it must stay below ce.TagBase.
+const TagSpan = BufferWords << tagEpochBits
+
 // DefaultPageWords is the Xylem page size (4 KB) in 64-bit words.
 const DefaultPageWords = 512
 
@@ -53,6 +70,7 @@ type slot struct {
 type outReq struct {
 	seq     int
 	addr    uint64
+	tag     uint64 // epoch-qualified network tag (reissues reuse it)
 	retries int
 	retryAt sim.Cycle
 }
@@ -105,6 +123,12 @@ type PFU struct {
 	got        [BufferWords]bool
 	lost       *lostReq
 
+	// curTag[s] is the epoch-qualified tag of slot s's current request
+	// instance; a reply carrying any other tag for the slot is stale.
+	// Epochs advance at issue and deliberately survive Fire — staleness
+	// crosses prefetch boundaries.
+	curTag [BufferWords]uint64
+
 	// Spin-wait bookkeeping for Consume on an empty full/empty bit.
 	spinSeq   int
 	spinRun   int64
@@ -118,7 +142,7 @@ type PFU struct {
 	// non-empty descriptor), OnIssue each request injected into the
 	// network (seq is the request index within the prefetch) and OnArrive
 	// each reply reaching the buffer. OnArrive receives the reply's buffer
-	// slot (the request's network tag, seq mod BufferWords), which
+	// slot (seq mod BufferWords, the low bits of the request's tag), which
 	// identifies the originating request even when replies from different
 	// memory modules interleave out of issue order.
 	OnFire   func(addr uint64)
@@ -133,6 +157,7 @@ type PFU struct {
 	Retries          int64 // requests reissued after a timeout
 	RetriesExhausted int64 // requests abandoned with retries exhausted
 	DuplicateReplies int64 // late replies swallowed after a successful retry
+	StaleReplies     int64 // replies to superseded request instances, swallowed
 	SpinWaits        int64 // consumer spin cycles on an empty full/empty bit
 }
 
@@ -146,7 +171,11 @@ func New(fwd *network.Network, port, pageWords int, pageCost sim.Cycle) *PFU {
 	if pageCost < 0 {
 		pageCost = DefaultPageCrossCycles
 	}
-	return &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost, spinSeq: -1}
+	u := &PFU{port: port, fwd: fwd, pageWords: pageWords, pageCost: pageCost, spinSeq: -1}
+	for s := range u.curTag {
+		u.curTag[s] = uint64(s) // epoch 0: reserved for "never issued"
+	}
+	return u
 }
 
 // SetTimeout enables request-layer recovery: a request whose reply has
@@ -339,7 +368,7 @@ func (u *PFU) tickRetry(now sim.Cycle) bool {
 		Words: 1,
 		Kind:  network.Read,
 		Addr:  h.addr,
-		Tag:   uint64(h.seq % BufferWords),
+		Tag:   h.tag, // same instance, same tag: the got bit resolves reply/retry races
 	}
 	if !u.fwd.Offer(now, u.port, p) {
 		u.StallCycles++
@@ -390,25 +419,28 @@ func (u *PFU) Tick(now sim.Cycle) {
 		}
 		return
 	}
+	slot := u.issued % BufferWords
+	tag := nextSlotTag(u.curTag[slot])
 	p := &network.Packet{
 		Dst:   0, // set below by the caller-supplied router
 		Src:   u.port,
 		Words: 1,
 		Kind:  network.Read,
 		Addr:  u.nextAddr,
-		Tag:   uint64(u.issued % BufferWords),
+		Tag:   tag,
 	}
 	p.Dst = u.route(u.nextAddr)
 	if !u.fwd.Offer(now, u.port, p) {
 		u.StallCycles++
 		return
 	}
+	u.curTag[slot] = tag // committed: any older instance's reply is now stale
 	if u.OnIssue != nil {
 		u.OnIssue(now, u.issued, u.nextAddr)
 	}
 	if u.timeout > 0 {
-		u.got[u.issued%BufferWords] = false
-		u.outq = append(u.outq, outReq{seq: u.issued, addr: u.nextAddr, retryAt: now + u.timeout})
+		u.got[slot] = false
+		u.outq = append(u.outq, outReq{seq: u.issued, addr: u.nextAddr, tag: tag, retryAt: now + u.timeout})
 	}
 	u.Issued++
 	u.issued++
@@ -420,6 +452,17 @@ func (u *PFU) Tick(now sim.Cycle) {
 		u.PageCrossings++
 		u.resumeAt = now + u.pageCost
 	}
+}
+
+// nextSlotTag advances a slot's instance epoch, returning the tag for
+// the slot's next request. Epoch 0 (tag == slot) is reserved for
+// "never issued", so the wrap returns to epoch 1.
+func nextSlotTag(cur uint64) uint64 {
+	nt := cur + BufferWords
+	if nt >= TagSpan {
+		nt = cur%BufferWords + BufferWords
+	}
+	return nt
 }
 
 // route maps a word address to its memory-module forward port.
@@ -435,25 +478,33 @@ func (u *PFU) route(addr uint64) int {
 func (u *PFU) SetRouter(f func(addr uint64) int) { u.routeFn = f }
 
 // Deliver accepts a reply from the reverse network (forwarded by the CE
-// that shares the port). It returns false if the reply does not belong to
-// the current prefetch — which cannot happen in a correctly wired machine
-// because Fire is never called with requests still in flight by the
-// runtime (the buffer invalidation semantics of the hardware make stale
-// data undefined; we are stricter and reject it).
+// that shares the port). With reissue recovery a reply may outlive its
+// request instance — Fire CAN run with an abandoned read's answer still
+// in flight — so the tag's epoch decides: a reply for anything but the
+// slot's current instance is counted stale and swallowed. Deliver never
+// refuses a prefetch-tagged packet (a refused reverse-network head is
+// redelivered forever, wedging the port); false is reserved for tags
+// outside the prefetch namespace, which a correctly wired machine never
+// routes here.
 func (u *PFU) Deliver(now sim.Cycle, p *network.Packet) bool {
-	seqSlot := int(p.Tag)
-	if seqSlot < 0 || seqSlot >= BufferWords {
+	if p.Tag >= TagSpan {
 		return false
 	}
-	if u.timeout > 0 && u.got[seqSlot] {
-		// The slot's current occupant already has its data: this is the
-		// loser of a reply/retry race. Swallow it — returning false would
-		// leave the reverse network retrying the delivery forever.
-		u.DuplicateReplies++
+	seqSlot := int(p.Tag % BufferWords)
+	if p.Tag != u.curTag[seqSlot] {
+		// A superseded instance's reply: the original answer of a
+		// reissued read outliving its slot's lap, or its whole prefetch.
+		// Swallow it — accepting would poison the slot with another
+		// request's data, and returning false would leave the reverse
+		// network retrying the delivery forever.
+		u.StaleReplies++
 		return true
 	}
-	if u.buf[seqSlot].full {
-		return false // slot still unconsumed: stale or duplicate
+	if (u.timeout > 0 && u.got[seqSlot]) || u.buf[seqSlot].full {
+		// The slot's current occupant already has its data: the loser of
+		// a reply/retry race. Swallow it for the same reason.
+		u.DuplicateReplies++
+		return true
 	}
 	if u.timeout > 0 {
 		u.got[seqSlot] = true
@@ -489,20 +540,17 @@ func (u *PFU) Ready() bool {
 // spinning silently.
 func (u *PFU) Consume() (uint64, bool) {
 	if u.length == 0 || u.consumed >= u.length {
+		// Consuming past the armed block: no data can ever arrive here.
+		// A program resumed without its prefetch context (the bug class
+		// gang rescheduling can create) lands exactly on this path, so
+		// run the same spin diagnosis as an empty slot — a silent wedge
+		// becomes a named fault in ErrDeadline instead.
+		u.spinWait()
 		return 0, false
 	}
 	s := &u.buf[u.consumed%BufferWords]
 	if !s.full {
-		u.SpinWaits++
-		if u.spinSeq == u.consumed {
-			u.spinRun++
-			if u.spinRun > SpinBound {
-				u.spinStuck = true
-			}
-		} else {
-			u.spinSeq = u.consumed
-			u.spinRun = 1
-		}
+		u.spinWait()
 		return 0, false
 	}
 	u.spinSeq = -1
@@ -512,6 +560,29 @@ func (u *PFU) Consume() (uint64, bool) {
 	u.consumed++
 	u.wake() // frees a buffer slot: a full-buffer PFU may issue again
 	return v, true
+}
+
+// spinWait records one failed Consume against the spin diagnosis: repeated
+// failures on the same word index past SpinBound mark the PFU stuck.
+func (u *PFU) spinWait() {
+	u.SpinWaits++
+	if u.spinSeq == u.consumed {
+		u.spinRun++
+		if u.spinRun > SpinBound {
+			u.spinStuck = true
+		}
+	} else {
+		u.spinSeq = u.consumed
+		u.spinRun = 1
+	}
+}
+
+// Quiescent reports that the PFU holds no prefetch context: no block is in
+// flight and every fetched word has been consumed. Only between blocks is a
+// program's prefetch state empty enough to resume on a different CE — PFU
+// buffers are per-CE and do not migrate.
+func (u *PFU) Quiescent() bool {
+	return !u.active && u.consumed >= u.length
 }
 
 // FaultReason implements sim.FaultReporter: non-empty once the PFU has

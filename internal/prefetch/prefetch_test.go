@@ -409,8 +409,9 @@ func TestRetryRecoversDroppedRequest(t *testing.T) {
 	}
 	r.u.Arm(8, 1)
 	r.u.Fire(0)
-	if pk := dropSeq0(t, r); pk.Tag != 0 {
-		t.Fatalf("dropped tag %d, want 0", pk.Tag)
+	if pk := dropSeq0(t, r); pk.Tag != BufferWords {
+		// Slot 0's first instance: epoch 1 over slot 0.
+		t.Fatalf("dropped tag %d, want %d", pk.Tag, BufferWords)
 	}
 	var got []uint64
 	if _, err := r.eng.RunUntil(func() bool {
@@ -487,6 +488,63 @@ func TestDuplicateReplySwallowed(t *testing.T) {
 	}
 	if r.u.Retries < 1 || r.u.DuplicateReplies < 1 {
 		t.Fatalf("Retries=%d DuplicateReplies=%d, want >=1 each", r.u.Retries, r.u.DuplicateReplies)
+	}
+}
+
+func TestStaleReplyAcrossFireIsSwallowed(t *testing.T) {
+	// A reply can outlive its request instance: the original answer of a
+	// reissued read returning after its slot has moved on to the next
+	// prefetch. It must be counted stale and swallowed — before the tag
+	// epochs it was either accepted into the new prefetch's slot (data
+	// poison) or refused, which wedged the reverse network's delivery
+	// retry loop and deadlocked the whole machine under congestion.
+	r := newRig(t, 0, -1)
+	r.u.SetTimeout(40, 4)
+	r.g.StoreWord(0, 111)
+	r.g.StoreWord(1, 222)
+	r.u.Arm(1, 1)
+	r.u.Fire(0)
+	dropSeq0(t, r) // the original (slot 0, epoch 1) vanishes; the reissue recovers
+	var got []uint64
+	drain := func() bool {
+		for r.u.Ready() {
+			v, _ := r.u.Consume()
+			got = append(got, v)
+		}
+		return r.u.Complete()
+	}
+	if _, err := r.eng.RunUntil(drain, 20000); err != nil {
+		t.Fatal(err)
+	}
+	r.u.Arm(1, 1)
+	r.u.Fire(1)
+	// Step until slot 0's next instance (epoch 2) is issued, but before
+	// its reply is back: the window the old code could be poisoned in.
+	for i := 0; i < 10 && r.u.Issued != 2; i++ {
+		r.eng.Run(1)
+	}
+	if r.u.Issued != 2 {
+		t.Fatalf("issued %d, want 2 (reissues count as Retries, not Issued)", r.u.Issued)
+	}
+	if r.u.Ready() {
+		t.Fatal("second reply already delivered; the stale window was missed")
+	}
+	// The dropped original's answer finally limps home, carrying epoch 1.
+	late := &network.Packet{Dst: 5, Src: 0, Words: 1, Kind: network.Reply, Addr: 0, Tag: BufferWords, Value: 111}
+	if !r.u.Deliver(r.eng.Now(), late) {
+		t.Fatal("stale reply refused: the reverse network would redeliver it forever")
+	}
+	if r.u.StaleReplies != 1 {
+		t.Fatalf("StaleReplies = %d, want 1", r.u.StaleReplies)
+	}
+	if r.u.Ready() {
+		t.Fatal("stale reply poisoned the second prefetch's slot")
+	}
+	if _, err := r.eng.RunUntil(drain, 20000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 111 || got[1] != 222 {
+		t.Fatalf("consumed %v, want [111 222]", got)
 	}
 }
 

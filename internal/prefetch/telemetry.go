@@ -16,6 +16,7 @@ func (u *PFU) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/retries", &u.Retries)
 	reg.Counter(prefix+"/retries_exhausted", &u.RetriesExhausted)
 	reg.Counter(prefix+"/duplicate_replies", &u.DuplicateReplies)
+	reg.Counter(prefix+"/stale_replies", &u.StaleReplies)
 	reg.Counter(prefix+"/spin_waits", &u.SpinWaits)
 	reg.Gauge(prefix+"/outstanding", func() int64 { return int64(u.Outstanding()) })
 }
