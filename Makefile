@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-fault race-io race-attr race-parallel bench bench-engine bench-telemetry fuzz-equivalence fault-soak cover ci
+.PHONY: all build test vet race race-fault race-io race-attr race-parallel race-cedard smoke-cedard bench bench-engine bench-telemetry fuzz-equivalence fault-soak cover ci
 
 all: ci
 
@@ -145,6 +145,19 @@ race-parallel:
 race-attr:
 	$(GO) test -race -run 'Attr|Acct|CPIStack|MachineFlame|IntervalPhase' ./internal/kernels/ ./internal/ce/ ./internal/telemetry/
 
+# Race pass focused on the job layer: the sharded result cache's
+# singleflight dedupe and bounded worker pool (K concurrent identical
+# requests must execute exactly one simulation), plus the cedard
+# handler fanning a batch out across goroutines.
+race-cedard:
+	$(GO) test -race -count=2 ./internal/job/... ./cmd/cedard/
+
+# End-to-end cedard smoke: build the real binary, start it, POST a job
+# batch twice, and assert the second round is served entirely from the
+# result cache.
+smoke-cedard:
+	$(GO) test -run TestSmoke -count=1 -v ./cmd/cedard/
+
 # Coverage with a floor on the telemetry layer (its correctness story is
 # "every sample is bit-exact", so the package must stay well covered).
 TELEMETRY_COVER_FLOOR ?= 85
@@ -156,4 +169,4 @@ cover:
 	awk -v p="$$pct" -v f="$(TELEMETRY_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f) ? 0 : 1 }' || \
 	{ echo "telemetry coverage below floor"; exit 1; }
 
-ci: vet test race race-fault race-io race-attr race-parallel fuzz-equivalence fault-soak bench-engine bench-telemetry
+ci: vet test race race-fault race-io race-attr race-parallel race-cedard smoke-cedard fuzz-equivalence fault-soak bench-engine bench-telemetry

@@ -160,7 +160,7 @@ func benchRank64(b *testing.B, cfg core.Config, mode kernels.Mode) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := kernels.Rank64(m, in, mode, false)
+		res, err := kernels.RunRank64(m, in, kernels.Params{Mode: mode})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -421,7 +421,7 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := kernels.Rank64(m, in, kernels.GMCache, false)
+		res, err := kernels.RunRank64(m, in, kernels.Params{Mode: kernels.GMCache})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,11 +15,14 @@
 // is registered. Modes apply to rk: nopref, pref, cache (Table 1's
 // three versions).
 //
-// The -engine flag selects the simulation engine path — naive,
-// quiescent, wake-cached (default) or parallel; results are
-// bit-identical on every path. -engine parallel runs each cluster's
-// components on their own goroutine (budget set by -par-workers) on
-// hosts with the cores to use them.
+// The flags assemble a job.Spec — the same serializable job
+// description cedard accepts over HTTP — and hand it to the shared
+// runner; cedarsim is one door into the one Spec→runner path. The
+// -engine flag selects the simulation engine path (naive, quiescent,
+// wake-cached (default) or parallel; results are bit-identical on
+// every path), -topology picks the machine configuration (cedar, or
+// the PPT5 scaled-up machine), and any nonsensical value exits with
+// status 2 like a malformed flag.
 //
 // Telemetry: -metrics-out dumps the final metrics registry,
 // -trace-out writes a Chrome trace_event JSON timeline (open it at
@@ -32,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	_ "expvar" // /debug/vars runtime metrics on the -pprof server
 	"flag"
 	"fmt"
@@ -40,10 +44,9 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/fault"
-	_ "repro/internal/kernels" // populates the workload registry
-	"repro/internal/report"
+	"repro/internal/job"
+	"repro/internal/job/runner"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -52,7 +55,8 @@ import (
 func main() {
 	kernel := flag.String("kernel", "rk", "workload name (see the registry listing on an unknown name)")
 	mode := flag.String("mode", "pref", "rk memory mode: nopref, pref, cache")
-	clusters := flag.Int("clusters", 4, "clusters (1..4; 8 CEs each)")
+	clusters := flag.Int("clusters", 4, "clusters (cedar topology: 1..4, 8 CEs each; scaled: up to 64)")
+	topology := flag.String("topology", "cedar", "machine configuration: cedar (as built) or scaled (PPT5 scaled-up)")
 	n := flag.Int("n", 256, "problem size (matrix order for rk, vector length otherwise; 0 = kernel default)")
 	iters := flag.Int("iters", 5, "iterations / timesteps (cg, bdna, mg3d)")
 	noPrefetch := flag.Bool("noprefetch", false, "disable prefetching (vl, tm, cg)")
@@ -71,26 +75,13 @@ func main() {
 	parWorkers := flag.Int("par-workers", 0, "phase-2 goroutines for -engine parallel (0 = min(NumCPU, clusters))")
 	flag.Parse()
 
-	// Validate up front: a nonsensical flag is a usage error (exit 2,
-	// like flag parsing itself), not a mid-run failure.
-	engineMode, engineOK := engineModes[*engine]
-	switch {
-	case !engineOK:
-		usageError(fmt.Errorf("unknown -engine %q (naive, quiescent, wake-cached or parallel)", *engine))
-	case *sampleEvery <= 0:
+	// The only validation done at flag level is what the Spec cannot
+	// express: driver-local telemetry settings and the shape of the
+	// -fault-kinds list. Everything else is the Spec's job, so cedarsim
+	// and cedard reject exactly the same inputs.
+	if *sampleEvery <= 0 {
 		usageError(fmt.Errorf("-sample-every %d: the sampling interval must be positive", *sampleEvery))
-	case *faultRate < 0 || *faultRate > 1:
-		usageError(fmt.Errorf("-fault-rate %g: must be in [0,1] faults per 10k cycles", *faultRate))
-	case *faultSeed < 0:
-		usageError(fmt.Errorf("-fault-seed %d: the schedule seed cannot be negative", *faultSeed))
-	case *parWorkers < 0:
-		usageError(fmt.Errorf("-par-workers %d: the worker budget cannot be negative", *parWorkers))
-	case *parWorkers > 0 && engineMode != sim.ModeWakeCachedParallel:
-		usageError(fmt.Errorf("-par-workers is only meaningful with -engine parallel"))
 	}
-	// -fault-kinds is validated even when -fault-rate leaves injection
-	// off: a typo in the filter should fail here, not pass silently
-	// until someone turns the rate up.
 	var kindFilter []string
 	if *faultKinds != "" {
 		for _, k := range strings.Split(*faultKinds, ",") {
@@ -98,10 +89,32 @@ func main() {
 				kindFilter = append(kindFilter, k)
 			}
 		}
+		if len(kindFilter) == 0 {
+			usageError(fmt.Errorf("-fault-kinds %q: no kinds named (known: %s)", *faultKinds, strings.Join(fault.KindNames(), ",")))
+		}
+		// Validate the filter even when -fault-rate leaves injection off:
+		// a typo should fail here, not pass silently until someone turns
+		// the rate up. (The Spec drops an inert filter before validating.)
 		scratch := fault.DefaultConfig(0)
 		if err := scratch.EnableOnly(kindFilter); err != nil {
 			usageError(err)
 		}
+	}
+
+	spec := job.Spec{
+		Workload:   *kernel,
+		Mode:       *mode,
+		Prefetch:   job.Bool(!*noPrefetch),
+		Probe:      job.Bool(*probe),
+		Iterations: *iters,
+		Size:       *n,
+		Clusters:   *clusters,
+		Topology:   *topology,
+		Engine:     *engine,
+		ParWorkers: *parWorkers,
+		FaultSeed:  *faultSeed,
+		FaultRate:  *faultRate,
+		FaultKinds: kindFilter,
 	}
 
 	if *pprofAddr != "" {
@@ -113,52 +126,33 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/ (runtime metrics at /debug/vars)\n", *pprofAddr)
 	}
 
-	cfg := core.ConfigClusters(*clusters)
-	cfg.EngineMode = engineMode
-	cfg.ParWorkers = *parWorkers
-	if *faultRate > 0 {
-		cfg.Fault = fault.DefaultConfig(uint64(*faultSeed))
-		cfg.Fault.MeanInterval = sim.Cycle(10000 / *faultRate)
-		if kindFilter != nil {
-			if err := cfg.Fault.EnableOnly(kindFilter); err != nil {
-				usageError(err) // unreachable: validated above
-			}
-		}
-	}
-	m, err := core.New(cfg)
+	jb, err := runner.Prepare(spec)
 	if err != nil {
+		var verr *job.ValidationError
+		if errors.As(err, &verr) {
+			usageError(fmt.Errorf("%s: invalid %s: %s", flagFor(verr.Field), verr.Field, verr.Reason))
+		}
 		fail(err)
 	}
-	// Telemetry is opt-in: without these flags the machine never builds
-	// a registry and the run pays nothing.
+	m := jb.Machine
+
+	// Telemetry is opt-in: without these flags the run never samples and
+	// pays nothing.
+	var att workload.Attachments
 	var sampler *telemetry.Sampler
 	if *metricsOut != "" || *traceOut != "" || *flame || *cpi || *attrOut != "" {
 		sampler = m.NewSampler(sim.Cycle(*sampleEvery))
+		att.Phases = sampler
 	}
 
-	var km workload.Mode
-	switch *mode {
-	case "nopref":
-		km = workload.GMNoPrefetch
-	case "pref":
-		km = workload.GMPrefetch
-	case "cache":
-		km = workload.GMCache
-	default:
-		fail(fmt.Errorf("unknown mode %q", *mode))
-	}
-	opts := workload.Options{
-		Mode:       km,
-		Prefetch:   !*noPrefetch,
-		Probe:      *probe,
-		Iterations: *iters,
-		Size:       *n,
-	}
-	if sampler != nil {
-		opts.Phases = sampler
-	}
-	res, err := workload.Run(*kernel, m, opts)
+	res, err := jb.Execute(att)
 	if err != nil {
+		// Param-level failures surface as usage errors here too (the
+		// registry validates workload.Params on every execution).
+		var perr *workload.ParamError
+		if errors.As(err, &perr) {
+			usageError(perr)
+		}
 		fail(err)
 	}
 	for _, note := range res.Notes {
@@ -166,19 +160,11 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("simulated time: %.3f ms (%d cycles at 170 ns)\n",
-		res.Cycles.Seconds()*1e3, res.Cycles)
+		sim.Cycle(res.Cycles).Seconds()*1e3, res.Cycles)
 	fmt.Printf("network: fwd injected=%d delivered=%d; rev injected=%d delivered=%d\n",
 		m.Fwd.Injected, m.Fwd.Delivered, m.Rev.Injected, m.Rev.Delivered)
-	fmt.Print(m.Utilization())
-	if t := ipTable(m); t != nil {
-		if err := t.Render(os.Stdout); err != nil {
-			fail(err)
-		}
-	}
-	if m.FaultInj != nil {
-		if err := m.FaultInj.SummaryTable().Render(os.Stdout); err != nil {
-			fail(err)
-		}
+	for _, tbl := range res.Tables {
+		fmt.Print(tbl)
 	}
 
 	if sampler == nil {
@@ -233,38 +219,27 @@ func main() {
 	}
 }
 
-// ipTable renders the per-cluster interactive-processor I/O counters,
-// or nil when the run did no I/O.
-func ipTable(m *core.Machine) *report.Table {
-	var total int64
-	for _, clu := range m.Clusters {
-		total += clu.IPs.Requests
+// flagFor maps a job.Spec field name (its serialized form) back to the
+// cedarsim flag that set it, so usage errors name the flag the user
+// actually typed.
+func flagFor(field string) string {
+	m := map[string]string{
+		"workload":    "-kernel",
+		"mode":        "-mode",
+		"size":        "-n",
+		"iterations":  "-iters",
+		"clusters":    "-clusters",
+		"topology":    "-topology",
+		"engine":      "-engine",
+		"par_workers": "-par-workers",
+		"fault_seed":  "-fault-seed",
+		"fault_rate":  "-fault-rate",
+		"fault_kinds": "-fault-kinds",
 	}
-	if total == 0 {
-		return nil
+	if f, ok := m[field]; ok {
+		return f
 	}
-	t := report.NewTable("Cluster I/O (interactive processors)",
-		"ip", "requests", "words", "busy cycles", "avg wait")
-	for i, clu := range m.Clusters {
-		ip := clu.IPs
-		avg := "-"
-		if ip.Completions > 0 {
-			avg = fmt.Sprintf("%.0f", float64(ip.WaitCycles)/float64(ip.Completions))
-		}
-		t.AddRow(fmt.Sprintf("ip%d", i), fmt.Sprint(ip.Requests),
-			fmt.Sprint(ip.WordsMoved), fmt.Sprint(ip.BusyCycles), avg)
-	}
-	return t
-}
-
-// engineModes maps the -engine flag to the engine path. Results are
-// bit-identical across all four; the non-default paths exist for the
-// equivalence tests, benchmarking and multi-core hosts.
-var engineModes = map[string]sim.EngineMode{
-	"naive":       sim.ModeNaive,
-	"quiescent":   sim.ModeQuiescent,
-	"wake-cached": sim.ModeWakeCached,
-	"parallel":    sim.ModeWakeCachedParallel,
+	return field
 }
 
 func fail(err error) {

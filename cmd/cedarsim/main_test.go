@@ -30,7 +30,7 @@ func TestFlagValidation(t *testing.T) {
 		args []string
 		want string // substring of stderr
 	}{
-		{"unknown engine", []string{"-engine", "warp"}, "unknown -engine"},
+		{"unknown engine", []string{"-engine", "warp"}, "-engine"},
 		{"zero sample interval", []string{"-sample-every", "0"}, "-sample-every"},
 		{"negative sample interval", []string{"-sample-every", "-5"}, "-sample-every"},
 		{"negative fault rate", []string{"-fault-rate", "-0.1"}, "-fault-rate"},
@@ -40,7 +40,13 @@ func TestFlagValidation(t *testing.T) {
 		{"fault kinds validated at rate zero", []string{"-fault-rate", "0", "-fault-kinds", "net-stall,typo"}, "unknown kind"},
 		{"empty fault kinds entry", []string{"-fault-kinds", ","}, "no kinds named"},
 		{"negative workers", []string{"-par-workers", "-1"}, "-par-workers"},
-		{"workers without parallel engine", []string{"-par-workers", "2"}, "-engine parallel"},
+		{"workers without parallel engine", []string{"-par-workers", "2"}, `engine "parallel"`},
+		{"negative problem size", []string{"-n", "-1"}, "size"},
+		{"negative iterations", []string{"-iters", "-3"}, "iterations"},
+		{"unknown mode", []string{"-mode", "warp"}, "-mode"},
+		{"unknown kernel", []string{"-kernel", "linpack"}, "-kernel"},
+		{"unknown topology", []string{"-topology", "torus"}, "-topology"},
+		{"clusters beyond topology", []string{"-clusters", "5"}, "-clusters"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -34,7 +34,7 @@ func solve(ces, n, iters int) kernels.CGResult {
 	}
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
 	p := kernels.NewCGProblem(n, 64)
-	res, err := kernels.CG(m, rt, p, iters, true, false)
+	res, err := kernels.RunCG(m, rt, p, kernels.Params{Iterations: iters, Prefetch: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := kernels.Rank64(m, in, mode, true)
+		res, err := kernels.RunRank64(m, in, kernels.Params{Mode: mode, Probe: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -602,6 +602,26 @@ func (inj *Injector) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"/no_target", &inj.NoTarget)
 }
 
+// Census returns the injected-fault counts keyed by kind mnemonic,
+// plus "repairs" and "no-target" — the serializable form of
+// SummaryTable, carried in job results.
+func (inj *Injector) Census() map[string]int64 {
+	return map[string]int64{
+		NetStall.String():      inj.NetStalls,
+		NetDrop.String():       inj.NetDrops,
+		MemBusy.String():       inj.MemBusies,
+		MemDegrade.String():    inj.MemDegrades,
+		CheckStop.String():     inj.CheckStops,
+		IPBusy.String():        inj.IPBusies,
+		IPDelay.String():       inj.IPDelays,
+		CacheBankBusy.String(): inj.CacheBusies,
+		BusStall.String():      inj.BusStalls,
+		CEDrop.String():        inj.CEDrops,
+		"repairs":              inj.Repairs,
+		"no-target":            inj.NoTarget,
+	}
+}
+
 // SummaryTable renders the injected-fault census for the CLI report.
 func (inj *Injector) SummaryTable() *report.Table {
 	t := report.NewTable("Injected faults", "kind", "count")

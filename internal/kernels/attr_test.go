@@ -20,18 +20,18 @@ import (
 // attrOptions keeps the all-workload sweep fast while still exercising
 // every bucket source: vector streams (direct and prefetched), scalar
 // and sync traffic, and both I/O shapes.
-func attrOptions(name string, m *core.Machine) workload.Options {
+func attrOptions(name string, m *core.Machine) workload.Params {
 	switch name {
 	case "rk":
-		return workload.Options{Size: 64, Mode: workload.GMPrefetch}
+		return workload.Params{Size: 64, Mode: workload.GMPrefetch}
 	case "vl":
-		return workload.Options{Size: m.NumCEs() * StripLen * 4}
+		return workload.Params{Size: m.NumCEs() * StripLen * 4}
 	case "tm":
-		return workload.Options{Size: m.NumCEs() * StripLen * 2, Prefetch: true}
+		return workload.Params{Size: m.NumCEs() * StripLen * 2, Prefetch: true}
 	case "cg":
-		return workload.Options{Iterations: 3, Prefetch: true}
+		return workload.Params{Iterations: 3, Prefetch: true}
 	default: // bdna, mg3d
-		return workload.Options{Iterations: 2}
+		return workload.Params{Iterations: 2}
 	}
 }
 
@@ -81,7 +81,7 @@ func TestAttrConservationAllWorkloads(t *testing.T) {
 			for i := len(engineModes) - 1; i >= 0; i-- { // naive first: reference
 				mode := engineModes[i]
 				m := machineAt(2, mode)
-				if _, err := workload.Run(name, m, attrOptions(name, m)); err != nil {
+				if _, err := workload.Run(name, m, attrOptions(name, m), workload.Attachments{}); err != nil {
 					t.Fatal(err)
 				}
 				label := fmt.Sprintf("%s [%v]", name, mode)
@@ -104,7 +104,7 @@ func TestAttrBucketsExercised(t *testing.T) {
 	var total isa.Acct
 	for _, name := range workload.Names() {
 		m := machineAt(2, sim.ModeWakeCached)
-		if _, err := workload.Run(name, m, attrOptions(name, m)); err != nil {
+		if _, err := workload.Run(name, m, attrOptions(name, m), workload.Attachments{}); err != nil {
 			t.Fatal(err)
 		}
 		for _, c := range m.CEs() {
@@ -142,7 +142,7 @@ func TestAttrFaultSweep(t *testing.T) {
 				cfg.Fault = fault.DefaultConfig(0xA77C0DE)
 				cfg.Fault.MeanInterval = 400
 				m := core.MustNew(cfg)
-				if _, err := workload.Run(name, m, attrOptions(name, m)); err != nil {
+				if _, err := workload.Run(name, m, attrOptions(name, m), workload.Attachments{}); err != nil {
 					t.Fatal(err)
 				}
 				label := fmt.Sprintf("%s faulted [%v]", name, mode)

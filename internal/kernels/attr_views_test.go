@@ -17,7 +17,7 @@ import (
 
 func TestCPIStackShape(t *testing.T) {
 	m := machineAt(1, sim.ModeWakeCached)
-	if _, err := workload.Run("vl", m, attrOptions("vl", m)); err != nil {
+	if _, err := workload.Run("vl", m, attrOptions("vl", m), workload.Attachments{}); err != nil {
 		t.Fatal(err)
 	}
 	st := m.CPIStack()
@@ -44,8 +44,7 @@ func TestPhaseCPIStackCG(t *testing.T) {
 	m := machineAt(1, sim.ModeWakeCached)
 	s := m.NewSampler(500)
 	o := attrOptions("cg", m)
-	o.Phases = s
-	if _, err := workload.Run("cg", m, o); err != nil {
+	if _, err := workload.Run("cg", m, o, workload.Attachments{Phases: s}); err != nil {
 		t.Fatal(err)
 	}
 	s.Final()
@@ -70,8 +69,7 @@ func TestWriteAttrCSV(t *testing.T) {
 	m := machineAt(1, sim.ModeWakeCached)
 	s := m.NewSampler(500)
 	o := attrOptions("cg", m)
-	o.Phases = s
-	if _, err := workload.Run("cg", m, o); err != nil {
+	if _, err := workload.Run("cg", m, o, workload.Attachments{Phases: s}); err != nil {
 		t.Fatal(err)
 	}
 	s.Final()
@@ -122,7 +120,7 @@ func TestWriteAttrCSV(t *testing.T) {
 func TestMachineFlameCodedCells(t *testing.T) {
 	m := machineAt(1, sim.ModeWakeCached)
 	s := m.NewSampler(500)
-	if _, err := workload.Run("vl", m, attrOptions("vl", m)); err != nil {
+	if _, err := workload.Run("vl", m, attrOptions("vl", m), workload.Attachments{}); err != nil {
 		t.Fatal(err)
 	}
 	s.Final()

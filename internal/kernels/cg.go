@@ -86,19 +86,19 @@ type CGResult struct {
 	X []float64
 }
 
-// RunCG runs Options.Iterations iterations (default 5) of the
+// RunCG runs Params.Iterations iterations (default 5) of the
 // conjugate-gradient method on m, with all vectors in global memory,
-// compiler-style 32-word prefetches (when Options.Prefetch), vector
+// compiler-style 32-word prefetches (when Params.Prefetch), vector
 // segments statically partitioned over the CEs, and multiprocessor
 // barriers between the phases of each iteration. It is the computation
 // behind Table 2's CG row and the Section 4.3 scalability study.
-func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Options) (CGResult, error) {
-	iters := o.Iterations
+func RunCG(m *core.Machine, rt *cedarfort.Runtime, prob *CGProblem, p workload.Params) (CGResult, error) {
+	iters := p.Iterations
 	if iters == 0 {
 		iters = 5
 	}
-	usePrefetch, probe := o.Prefetch, o.Probe
-	n := p.N
+	usePrefetch, probe := p.Prefetch, p.Probe
+	n := prob.N
 	nces := m.NumCEs()
 	if n%(nces*StripLen) != 0 {
 		return CGResult{}, fmt.Errorf("kernels: CG n=%d not a multiple of %d", n, nces*StripLen)
@@ -109,8 +109,8 @@ func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Opti
 	r := make([]float64, n)
 	q := make([]float64, n)
 	pv := make([]float64, n)
-	copy(r, p.RHS) // x0 = 0 so r = rhs
-	copy(pv, p.RHS)
+	copy(r, prob.RHS) // x0 = 0 so r = rhs
+	copy(pv, prob.RHS)
 	partialsPQ := make([]float64, nces)
 	partialsRR := make([]float64, nces)
 	rho0 := 0.0
@@ -177,7 +177,7 @@ func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Opti
 			switch phase {
 			case 0:
 				markPhase(ceID, "matvec")
-				emitCGMatvecPhase(g, p, usePrefetch, lo, hi, pB, qB, partPQB, ceID,
+				emitCGMatvecPhase(g, prob, usePrefetch, lo, hi, pB, qB, partPQB, ceID,
 					pv, q, partialsPQ)
 				bar.Emit(g)
 				phase = 1
@@ -218,7 +218,7 @@ func RunCG(m *core.Machine, rt *cedarfort.Runtime, p *CGProblem, o workload.Opti
 	res := CGResult{
 		Result:        finish(name, m, start, end, check, pr),
 		Iterations:    iters,
-		FinalResidual: p.Residual(x),
+		FinalResidual: prob.Residual(x),
 		X:             x,
 	}
 	return res, nil

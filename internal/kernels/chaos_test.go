@@ -137,7 +137,7 @@ func TestChaosSoak(t *testing.T) {
 				for i := len(engineModes) - 1; i >= 0; i-- { // naive first: reference
 					mode := engineModes[i]
 					m := chaosMachine(2, mode, seed, kinds)
-					if _, err := workload.Run(name, m, attrOptions(name, m)); err != nil {
+					if _, err := workload.Run(name, m, attrOptions(name, m), workload.Attachments{}); err != nil {
 						t.Fatalf("[%v] hung or wedged: %v", mode, err)
 					}
 					label := fmt.Sprintf("%s seed %#x [%v]", name, seed, mode)
@@ -173,7 +173,7 @@ func TestChaosSoakExercisesNewKinds(t *testing.T) {
 		if name == "rk" {
 			opts.Mode = workload.GMCache
 		}
-		if _, err := workload.Run(name, m, opts); err != nil {
+		if _, err := workload.Run(name, m, opts, workload.Attachments{}); err != nil {
 			t.Fatal(err)
 		}
 		busies += m.FaultInj.CacheBusies
@@ -239,7 +239,7 @@ func TestChaosSoakParallelReissue(t *testing.T) {
 	m := core.MustNew(cfg)
 	opts := attrOptions("tm", m)
 	opts.Prefetch = false // direct global streams: the reissue path's food
-	if _, err := workload.Run("tm", m, opts); err != nil {
+	if _, err := workload.Run("tm", m, opts, workload.Attachments{}); err != nil {
 		t.Fatal(err)
 	}
 	var retries int64

@@ -118,7 +118,7 @@ func runAllModes(t *testing.T, what string, clusters int, run func(m *core.Machi
 func TestDeterminismVectorLoad(t *testing.T) {
 	for _, pf := range []bool{false, true} {
 		runAllModes(t, fmt.Sprintf("VL prefetch=%v", pf), 1, func(m *core.Machine) Result {
-			r, err := VectorLoad(m, m.NumCEs()*StripLen*4, pf, false)
+			r, err := RunVectorLoad(m, Params{Size: m.NumCEs()*StripLen*4, Prefetch: pf})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +130,7 @@ func TestDeterminismVectorLoad(t *testing.T) {
 func TestDeterminismTriMatVec(t *testing.T) {
 	for _, pf := range []bool{false, true} {
 		runAllModes(t, fmt.Sprintf("TM prefetch=%v", pf), 2, func(m *core.Machine) Result {
-			r, err := TriMatVec(m, m.NumCEs()*StripLen*2, pf, false)
+			r, err := RunTriMatVec(m, Params{Size: m.NumCEs()*StripLen*2, Prefetch: pf})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,7 +142,7 @@ func TestDeterminismTriMatVec(t *testing.T) {
 func TestDeterminismRank64(t *testing.T) {
 	for _, mode := range []Mode{GMNoPrefetch, GMPrefetch, GMCache} {
 		runAllModes(t, mode.String(), 1, func(m *core.Machine) Result {
-			r, err := Rank64(m, NewRank64Input(64), mode, false)
+			r, err := RunRank64(m, NewRank64Input(64), Params{Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,7 +155,7 @@ func TestDeterminismCG(t *testing.T) {
 	var refResidual float64
 	runAllModes(t, "CG", 2, func(m *core.Machine) Result {
 		rt := cedarfort.New(m, cedarfort.DefaultConfig())
-		res, err := CG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), 3, true, false)
+		res, err := RunCG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), Params{Iterations: 3, Prefetch: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func TestDeterminismCG(t *testing.T) {
 // workloads.
 func TestQuiescencePathExercised(t *testing.T) {
 	fast := machineAt(1, sim.ModeWakeCached)
-	if _, err := Rank64(fast, NewRank64Input(64), GMCache, false); err != nil {
+	if _, err := RunRank64(fast, NewRank64Input(64), Params{Mode: GMCache}); err != nil {
 		t.Fatal(err)
 	}
 	if fast.Eng.SkippedTicks == 0 {

@@ -8,13 +8,13 @@ import (
 	"repro/internal/kernels"
 )
 
-// ExampleRank64 runs the Table 1 kernel in cache mode on one cluster and
+// ExampleRunRank64 runs the Table 1 kernel in cache mode on one cluster and
 // verifies the numerical result against the serial reference.
-func ExampleRank64() {
+func ExampleRunRank64() {
 	in := kernels.NewRank64Input(64)
 	want := kernels.ReferenceRank64(in)
 	m := core.MustNew(core.ConfigClusters(1))
-	res, err := kernels.Rank64(m, in, kernels.GMCache, false)
+	res, err := kernels.RunRank64(m, in, kernels.Params{Mode: kernels.GMCache})
 	if err != nil {
 		panic(err)
 	}
@@ -29,13 +29,13 @@ func ExampleRank64() {
 	// flops=524288 exact=true
 }
 
-// ExampleCG solves a small 5-diagonal system in parallel and reports
+// ExampleRunCG solves a small 5-diagonal system in parallel and reports
 // convergence.
-func ExampleCG() {
+func ExampleRunCG() {
 	m := core.MustNew(core.ConfigClusters(1))
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
 	p := kernels.NewCGProblem(1024, 64)
-	res, err := kernels.CG(m, rt, p, 20, true, false)
+	res, err := kernels.RunCG(m, rt, p, kernels.Params{Iterations: 20, Prefetch: true})
 	if err != nil {
 		panic(err)
 	}

@@ -107,23 +107,23 @@ func mg3dSpec(aux []float64) (ioKernelSpec, error) {
 	}, nil
 }
 
-// RunBDNA runs the BDNA-style workload: Options.Iterations timesteps
-// (default 3) over an Options.Size-word coordinate array (default 2
+// RunBDNA runs the BDNA-style workload: Params.Iterations timesteps
+// (default 3) over a Params.Size-word coordinate array (default 2
 // strips per CE), each ending with the leader's formatted whole-array
 // trajectory write and a machine barrier.
-func RunBDNA(m *core.Machine, o workload.Options) (Result, error) {
+func RunBDNA(m *core.Machine, p workload.Params, att workload.Attachments) (Result, error) {
 	spec, err := bdnaSpec()
 	if err != nil {
 		return Result{}, err
 	}
-	return runIOKernel(m, spec, o)
+	return runIOKernel(m, spec, p, att)
 }
 
-// RunMG3D runs the MG3D-style workload: Options.Iterations migration
-// steps (default 3) over an Options.Size-word image (default 2 strips
+// RunMG3D runs the MG3D-style workload: Params.Iterations migration
+// steps (default 3) over a Params.Size-word image (default 2 strips
 // per CE), each beginning with every cluster leader's raw read of its
 // trace partition.
-func RunMG3D(m *core.Machine, o workload.Options) (Result, error) {
+func RunMG3D(m *core.Machine, p workload.Params, att workload.Attachments) (Result, error) {
 	// The trace array is sized in runIOKernel once the problem size is
 	// known; hand the spec a slice header it can fill there.
 	aux := []float64{}
@@ -131,22 +131,22 @@ func RunMG3D(m *core.Machine, o workload.Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return runIOKernel(m, spec, o)
+	return runIOKernel(m, spec, p, att)
 }
 
 // runIOKernel drives one I/O-heavy Perfect-code model: steps of
 // (optional leader read) -> strip-mined compute -> (optional leader
 // write) -> machine barrier, with per-strip compute padding sized so the
 // kernel's compute-to-I/O wall-clock ratio matches the profile's.
-func runIOKernel(m *core.Machine, spec ioKernelSpec, o workload.Options) (Result, error) {
+func runIOKernel(m *core.Machine, spec ioKernelSpec, p workload.Params, att workload.Attachments) (Result, error) {
 	nces := m.NumCEs()
 	nclusters := len(m.Clusters)
 	cesPerCluster := m.Config().Cluster.CEs
-	n := o.Size
+	n := p.Size
 	if n == 0 {
 		n = nces * StripLen * 2
 	}
-	steps := o.Iterations
+	steps := p.Iterations
 	if steps == 0 {
 		steps = 3
 	}
@@ -200,13 +200,13 @@ func runIOKernel(m *core.Machine, spec ioKernelSpec, o workload.Options) (Result
 	extraPerStrip := sim.Cycle(spec.ratio*ioWall/float64(stripsPerCE) + 0.5)
 
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
-	if o.Phases != nil {
-		rt.Phases = o.Phases
+	if att.Phases != nil {
+		rt.Phases = att.Phases
 	}
 	bar := rt.NewBarrier(nces)
 
 	var pr *perfmon.PrefetchProbe
-	if o.Probe && o.Prefetch {
+	if p.Probe && p.Prefetch {
 		pr = perfmon.AttachPrefetch(m.CE(0).PFU())
 	}
 
@@ -229,9 +229,9 @@ func runIOKernel(m *core.Machine, spec ioKernelSpec, o workload.Options) (Result
 				emitIOStatement(g, spec, s, ceID, ioWords)
 			}
 			for stripLo := lo; stripLo < hi; stripLo += StripLen {
-				vloadOps(g, o.Prefetch, curB, stripLo, 2)
+				vloadOps(g, p.Prefetch, curB, stripLo, 2)
 				if aux != nil {
-					vloadOps(g, o.Prefetch, auxBase, stripLo, 1)
+					vloadOps(g, p.Prefetch, auxBase, stripLo, 1)
 				}
 				if extraPerStrip > 0 {
 					g.Emit(isa.NewCompute(extraPerStrip))

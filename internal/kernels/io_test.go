@@ -34,7 +34,7 @@ func TestIOBDNAEquivalence(t *testing.T) {
 	const steps = 3
 	runAllModes(t, "BDNA", 2, func(m *core.Machine) Result {
 		n := m.NumCEs() * StripLen * 2
-		r, err := RunBDNA(m, workload.Options{Size: n, Iterations: steps, Prefetch: true})
+		r, err := RunBDNA(m, workload.Params{Size: n, Iterations: steps, Prefetch: true}, workload.Attachments{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +75,7 @@ func TestIOMG3DEquivalence(t *testing.T) {
 	const steps = 3
 	runAllModes(t, "MG3D", 2, func(m *core.Machine) Result {
 		n := m.NumCEs() * StripLen * 2
-		r, err := RunMG3D(m, workload.Options{Size: n, Iterations: steps})
+		r, err := RunMG3D(m, workload.Params{Size: n, Iterations: steps}, workload.Attachments{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestIOFaultEquivalence(t *testing.T) {
 			cfg.EngineMode = mode
 			cfg.Fault = ipFaultConfig()
 			m := core.MustNew(cfg)
-			r, err := workload.Run(name, m, workload.Options{Iterations: 2})
+			r, err := workload.Run(name, m, workload.Params{Iterations: 2}, workload.Attachments{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,14 +200,14 @@ func TestIORegistryNames(t *testing.T) {
 		}
 	}
 	m := machineAt(1, sim.ModeWakeCached)
-	r, err := workload.Run("bdna", m, workload.Options{Iterations: 1})
+	r, err := workload.Run("bdna", m, workload.Params{Iterations: 1}, workload.Attachments{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Check == 0 || len(r.Notes) == 0 {
 		t.Fatalf("registry run returned an empty result: %+v", r)
 	}
-	if _, err := workload.Run("no-such-kernel", m, workload.Options{}); err == nil ||
+	if _, err := workload.Run("no-such-kernel", m, workload.Params{}, workload.Attachments{}); err == nil ||
 		!strings.Contains(err.Error(), "bdna") {
 		t.Fatalf("unknown-name error should list the registry, got: %v", err)
 	}

@@ -24,14 +24,19 @@ import (
 	"repro/internal/workload"
 )
 
-// Mode and Result moved to the workload package with the unified
-// Workload API; the aliases keep every existing caller compiling while
-// the canonical definitions live where drivers find them.
+// Mode, Result, Params and Attachments live in the workload package
+// with the unified Workload API; the aliases keep kernel callers
+// readable while the canonical definitions stay where drivers find
+// them.
 type (
 	// Mode selects the memory-system strategy of a kernel (Table 1).
 	Mode = workload.Mode
 	// Result reports one kernel execution.
 	Result = workload.Result
+	// Params is the serializable parameter set of a run.
+	Params = workload.Params
+	// Attachments carries the runtime-only observers of a run.
+	Attachments = workload.Attachments
 )
 
 // Kernel memory modes (aliases of the workload constants).

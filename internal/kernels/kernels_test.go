@@ -28,7 +28,7 @@ func TestRank64Numerics(t *testing.T) {
 		in := NewRank64Input(64)
 		want := ReferenceRank64(in)
 		m := testMachine(1)
-		res, err := Rank64(m, in, mode, false)
+		res, err := RunRank64(m, in, Params{Mode: mode})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -51,7 +51,7 @@ func TestRank64ModeOrdering(t *testing.T) {
 	for _, mode := range []Mode{GMNoPrefetch, GMPrefetch, GMCache} {
 		in := NewRank64Input(128)
 		m := testMachine(1)
-		res, err := Rank64(m, in, mode, false)
+		res, err := RunRank64(m, in, Params{Mode: mode})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -72,7 +72,7 @@ func TestRank64ModeOrdering(t *testing.T) {
 func TestRank64Probe(t *testing.T) {
 	in := NewRank64Input(64)
 	m := testMachine(1)
-	res, err := Rank64(m, in, GMPrefetch, true)
+	res, err := RunRank64(m, in, Params{Mode: GMPrefetch, Probe: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestRank64SizeValidation(t *testing.T) {
 	m := testMachine(1)
 	in := NewRank64Input(64)
 	in.N = 4 // lie about the size: fewer columns than CEs
-	if _, err := Rank64(m, in, GMPrefetch, false); err == nil {
+	if _, err := RunRank64(m, in, Params{Mode: GMPrefetch}); err == nil {
 		t.Fatal("accepted n smaller than the CE count")
 	}
 }
@@ -102,7 +102,7 @@ func TestRank64UnevenPartition(t *testing.T) {
 	in := NewRank64Input(64)
 	want := ReferenceRank64(in)
 	m := testMachine(3)
-	if _, err := Rank64(m, in, GMPrefetch, false); err != nil {
+	if _, err := RunRank64(m, in, Params{Mode: GMPrefetch}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range want {
@@ -115,12 +115,12 @@ func TestRank64UnevenPartition(t *testing.T) {
 func TestVectorLoadNumericsAndSpeedup(t *testing.T) {
 	n := 8 * StripLen * 8
 	m1 := testMachine(1)
-	slow, err := VectorLoad(m1, n, false, false)
+	slow, err := RunVectorLoad(m1, Params{Size: n})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m2 := testMachine(1)
-	fast, err := VectorLoad(m2, n, true, true)
+	fast, err := RunVectorLoad(m2, Params{Size: n, Prefetch: true, Probe: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestVectorLoadNumericsAndSpeedup(t *testing.T) {
 func TestTriMatVecNumerics(t *testing.T) {
 	n := 8 * StripLen * 4
 	m := testMachine(1)
-	res, err := TriMatVec(m, n, true, false)
+	res, err := RunTriMatVec(m, Params{Size: n, Prefetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestCGConverges(t *testing.T) {
 	p := NewCGProblem(n, 64)
 	m := testMachine(1)
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
-	res, err := CG(m, rt, p, 20, true, false)
+	res, err := RunCG(m, rt, p, Params{Iterations: 20, Prefetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestCGPrefetchHelps(t *testing.T) {
 		p := NewCGProblem(n, 64)
 		m := testMachine(1)
 		rt := cedarfort.New(m, cedarfort.DefaultConfig())
-		res, err := CG(m, rt, p, 4, usePF, false)
+		res, err := RunCG(m, rt, p, Params{Iterations: 4, Prefetch: usePF})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -76,11 +76,11 @@ func ReferenceRank64(in *Rank64Input) []float64 {
 // request"). In GMCache mode each CE first transfers the strip's A block
 // into a cached cluster work array.
 //
-// Options.Probe, when true, attaches the paper's performance monitor to
+// Params.Probe, when true, attaches the paper's performance monitor to
 // CE 0's prefetch unit (monitoring all requests of a single processor,
-// as the paper does); Options.Mode selects the Table 1 variant.
-func RunRank64(m *core.Machine, in *Rank64Input, o workload.Options) (Result, error) {
-	mode, probe := o.Mode, o.Probe
+// as the paper does); Params.Mode selects the Table 1 variant.
+func RunRank64(m *core.Machine, in *Rank64Input, p workload.Params) (Result, error) {
+	mode, probe := p.Mode, p.Probe
 	n := in.N
 	nces := m.NumCEs()
 	if n < nces {

@@ -25,7 +25,7 @@ func TestFourClusterFullSizeTelemetryEquivalence(t *testing.T) {
 		cfg.EngineMode = mode
 		m := core.MustNew(cfg)
 		s := m.NewSampler(1000)
-		r, err := TriMatVec(m, m.NumCEs()*StripLen*2, true, false)
+		r, err := RunTriMatVec(m, Params{Size: m.NumCEs()*StripLen*2, Prefetch: true})
 		if err != nil {
 			t.Fatal(err)
 		}

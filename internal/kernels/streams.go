@@ -17,15 +17,15 @@ import (
 // is enabled. The result vector is y[i] = 2*x[i], verified via Check
 // (the sum of y).
 //
-// Options used: Size (vector length; default 4 strips per CE), Prefetch,
+// Params used: Size (vector length; default 4 strips per CE), Prefetch,
 // Probe.
-func RunVectorLoad(m *core.Machine, o workload.Options) (Result, error) {
+func RunVectorLoad(m *core.Machine, p workload.Params) (Result, error) {
 	nces := m.NumCEs()
-	n := o.Size
+	n := p.Size
 	if n == 0 {
 		n = nces * StripLen * 4
 	}
-	usePrefetch, probe := o.Prefetch, o.Probe
+	usePrefetch, probe := p.Prefetch, p.Probe
 	if n%(nces*StripLen) != 0 {
 		return Result{}, fmt.Errorf("kernels: VL n=%d not a multiple of %d", n, nces*StripLen)
 	}
@@ -89,15 +89,15 @@ func RunVectorLoad(m *core.Machine, o workload.Options) (Result, error) {
 // RK — the property the paper uses to explain TM's milder degradation in
 // Table 2. Five flops per element (three multiplies, two adds).
 //
-// Options used: Size (system order; default 2 strips per CE), Prefetch,
+// Params used: Size (system order; default 2 strips per CE), Prefetch,
 // Probe.
-func RunTriMatVec(m *core.Machine, o workload.Options) (Result, error) {
+func RunTriMatVec(m *core.Machine, p workload.Params) (Result, error) {
 	nces := m.NumCEs()
-	n := o.Size
+	n := p.Size
 	if n == 0 {
 		n = nces * StripLen * 2
 	}
-	usePrefetch, probe := o.Prefetch, o.Probe
+	usePrefetch, probe := p.Prefetch, p.Probe
 	if n%(nces*StripLen) != 0 {
 		return Result{}, fmt.Errorf("kernels: TM n=%d not a multiple of %d", n, nces*StripLen)
 	}

@@ -23,7 +23,7 @@ func TestTelemetryFingerprintEngineEquivalence(t *testing.T) {
 	run := func(m *core.Machine) (Result, *telemetry.Sampler) {
 		t.Helper()
 		s := m.NewSampler(500)
-		r, err := VectorLoad(m, m.NumCEs()*StripLen*4, true, false)
+		r, err := RunVectorLoad(m, Params{Size: m.NumCEs()*StripLen*4, Prefetch: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +84,11 @@ func TestSamplerDoesNotPerturbRun(t *testing.T) {
 	}
 	plain, sampled := mk(), mk()
 	s := sampled.NewSampler(250)
-	rp, err := Rank64(plain, NewRank64Input(64), GMCache, false)
+	rp, err := RunRank64(plain, NewRank64Input(64), Params{Mode: GMCache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := Rank64(sampled, NewRank64Input(64), GMCache, false)
+	rs, err := RunRank64(sampled, NewRank64Input(64), Params{Mode: GMCache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestCGPhaseMarks(t *testing.T) {
 		s := m.NewSampler(1000)
 		rt := cedarfort.New(m, cedarfort.DefaultConfig())
 		rt.Phases = s
-		res, err := CG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), 3, true, false)
+		res, err := RunCG(m, rt, NewCGProblem(m.NumCEs()*StripLen*2, 5), Params{Iterations: 3, Prefetch: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func TestCGPhaseMarks(t *testing.T) {
 func TestMachineFlameShape(t *testing.T) {
 	fast, _ := enginePair(1)
 	s := fast.NewSampler(500)
-	if _, err := VectorLoad(fast, fast.NumCEs()*StripLen*2, true, false); err != nil {
+	if _, err := RunVectorLoad(fast, Params{Size: fast.NumCEs()*StripLen*2, Prefetch: true}); err != nil {
 		t.Fatal(err)
 	}
 	s.Final()

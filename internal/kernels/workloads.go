@@ -9,29 +9,33 @@ import (
 )
 
 // init registers every kernel in the workload registry, so any driver
-// importing this package (cmd/cedarsim, the table generators) can run
-// kernels by name. The short names are the paper's kernel mnemonics
-// plus the two Perfect-code I/O workloads.
+// importing this package (cmd/cedarsim, cmd/cedard, the table
+// generators) can run kernels by name. The short names are the paper's
+// kernel mnemonics plus the two Perfect-code I/O workloads.
 func init() {
 	workload.Register(workload.New("rk",
-		"rank-64 matrix update in Table 1's three memory modes (Options.Mode)",
-		func(m *core.Machine, o workload.Options) (workload.Result, error) {
-			n := o.Size
+		"rank-64 matrix update in Table 1's three memory modes (Params.Mode)",
+		func(m *core.Machine, p workload.Params, _ workload.Attachments) (workload.Result, error) {
+			n := p.Size
 			if n == 0 {
 				n = 128
 			}
-			return RunRank64(m, NewRank64Input(n), o)
+			return RunRank64(m, NewRank64Input(n), p)
 		}))
 	workload.Register(workload.New("vl",
 		"vector load stream (Table 2 VL)",
-		RunVectorLoad))
+		func(m *core.Machine, p workload.Params, _ workload.Attachments) (workload.Result, error) {
+			return RunVectorLoad(m, p)
+		}))
 	workload.Register(workload.New("tm",
 		"tridiagonal matrix-vector multiply (Table 2 TM)",
-		RunTriMatVec))
+		func(m *core.Machine, p workload.Params, _ workload.Attachments) (workload.Result, error) {
+			return RunTriMatVec(m, p)
+		}))
 	workload.Register(workload.New("cg",
 		"conjugate-gradient solver on a 5-diagonal system (Table 2 CG, Section 4.3)",
-		func(m *core.Machine, o workload.Options) (workload.Result, error) {
-			n := o.Size
+		func(m *core.Machine, p workload.Params, att workload.Attachments) (workload.Result, error) {
+			n := p.Size
 			if n == 0 {
 				n = m.NumCEs() * StripLen * 2
 			}
@@ -40,10 +44,10 @@ func init() {
 				w = 5
 			}
 			rt := cedarfort.New(m, cedarfort.DefaultConfig())
-			if o.Phases != nil {
-				rt.Phases = o.Phases
+			if att.Phases != nil {
+				rt.Phases = att.Phases
 			}
-			res, err := RunCG(m, rt, NewCGProblem(n, w), o)
+			res, err := RunCG(m, rt, NewCGProblem(n, w), p)
 			if err != nil {
 				return workload.Result{}, err
 			}

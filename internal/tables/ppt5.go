@@ -93,7 +93,7 @@ func RunPPT5(quick bool) (*PPT5Data, error) {
 		}
 		pt.NetStages = mRK.Fwd.Stages()
 		in := kernels.NewRank64Input(rkN)
-		rk, err := kernels.RunRank64(mRK, in, workload.Options{Mode: workload.GMCache})
+		rk, err := kernels.RunRank64(mRK, in, workload.Params{Mode: workload.GMCache})
 		if err != nil {
 			return nil, fmt.Errorf("ppt5 rank64 %d clusters: %w", clusters, err)
 		}
@@ -106,7 +106,7 @@ func RunPPT5(quick bool) (*PPT5Data, error) {
 		}
 		rt := cedarfort.New(mCG, cedarfort.DefaultConfig())
 		p := kernels.NewCGProblem(cgN, 64)
-		cg, err := kernels.RunCG(mCG, rt, p, workload.Options{Iterations: iters, Prefetch: true})
+		cg, err := kernels.RunCG(mCG, rt, p, workload.Params{Iterations: iters, Prefetch: true})
 		if err != nil {
 			return nil, fmt.Errorf("ppt5 cg %d clusters: %w", clusters, err)
 		}

@@ -53,7 +53,7 @@ func cgRate(ces, n, iters int) (float64, error) {
 	}
 	rt := cedarfort.New(m, cedarfort.DefaultConfig())
 	p := kernels.NewCGProblem(n, 64)
-	res, err := kernels.RunCG(m, rt, p, workload.Options{Iterations: iters, Prefetch: true})
+	res, err := kernels.RunCG(m, rt, p, workload.Params{Iterations: iters, Prefetch: true})
 	if err != nil {
 		return 0, err
 	}

@@ -66,7 +66,7 @@ func RunTable1(n int) (*Table1Data, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := kernels.RunRank64(m, in, workload.Options{Mode: mode})
+			res, err := kernels.RunRank64(m, in, workload.Params{Mode: mode})
 			if err != nil {
 				return nil, fmt.Errorf("table 1 %v/%d clusters: %w", mode, clusters, err)
 			}

@@ -88,7 +88,7 @@ func RunTable2(scale int) (*Table2Data, error) {
 	for _, clusters := range []int{1, 2, 4} {
 		// TM: tridiagonal matrix-vector multiply.
 		row, err := runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
-			return kernels.RunTriMatVec(m, workload.Options{Size: 4096 * scale, Prefetch: pf, Probe: probe})
+			return kernels.RunTriMatVec(m, workload.Params{Size: 4096 * scale, Prefetch: pf, Probe: probe})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("table 2 TM: %w", err)
@@ -101,7 +101,7 @@ func RunTable2(scale int) (*Table2Data, error) {
 		row, err = runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
 			p := kernels.NewCGProblem(4096*scale, 64)
 			rt := cedarfort.New(m, cedarfort.DefaultConfig())
-			res, err := kernels.RunCG(m, rt, p, workload.Options{Iterations: 4, Prefetch: pf, Probe: probe})
+			res, err := kernels.RunCG(m, rt, p, workload.Params{Iterations: 4, Prefetch: pf, Probe: probe})
 			return res.Result, err
 		})
 		if err != nil {
@@ -112,7 +112,7 @@ func RunTable2(scale int) (*Table2Data, error) {
 
 		// VF: vector load/scale stream.
 		row, err = runKernelPair(clusters, func(m *core.Machine, pf, probe bool) (kernels.Result, error) {
-			return kernels.RunVectorLoad(m, workload.Options{Size: 8192 * scale, Prefetch: pf, Probe: probe})
+			return kernels.RunVectorLoad(m, workload.Params{Size: 8192 * scale, Prefetch: pf, Probe: probe})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("table 2 VF: %w", err)
@@ -127,7 +127,7 @@ func RunTable2(scale int) (*Table2Data, error) {
 			if pf {
 				mode = kernels.GMPrefetch
 			}
-			return kernels.RunRank64(m, in, workload.Options{Mode: mode, Probe: probe})
+			return kernels.RunRank64(m, in, workload.Params{Mode: mode, Probe: probe})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("table 2 RK: %w", err)

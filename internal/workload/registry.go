@@ -50,32 +50,38 @@ func Describe(name string) string {
 	return ""
 }
 
-// Run looks up name and runs it; an unknown name errors with the
-// available names so drivers can surface the registry directly.
-func Run(name string, m *core.Machine, opts Options) (Result, error) {
+// Run looks up name, validates the parameters, and runs the workload;
+// an unknown name errors with the available names so drivers can
+// surface the registry directly. Every registry execution passes
+// through the Params.Validate gate, so negative sizes and iteration
+// counts never reach kernel code.
+func Run(name string, m *core.Machine, p Params, att Attachments) (Result, error) {
 	w := Get(name)
 	if w == nil {
 		return Result{}, fmt.Errorf("workload: unknown workload %q (available: %s)",
 			name, strings.Join(Names(), ", "))
 	}
-	return w.Run(m, opts)
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	return w.Run(m, p, att)
 }
 
 // funcWorkload adapts a function to the Workload interface.
 type funcWorkload struct {
 	name  string
 	about string
-	fn    func(m *core.Machine, opts Options) (Result, error)
+	fn    func(m *core.Machine, p Params, att Attachments) (Result, error)
 }
 
 func (f funcWorkload) Name() string     { return f.name }
 func (f funcWorkload) Describe() string { return f.about }
-func (f funcWorkload) Run(m *core.Machine, opts Options) (Result, error) {
-	return f.fn(m, opts)
+func (f funcWorkload) Run(m *core.Machine, p Params, att Attachments) (Result, error) {
+	return f.fn(m, p, att)
 }
 
 // New wraps a function as a Workload with a one-line description for
 // listings.
-func New(name, about string, fn func(m *core.Machine, opts Options) (Result, error)) Workload {
+func New(name, about string, fn func(m *core.Machine, p Params, att Attachments) (Result, error)) Workload {
 	return funcWorkload{name: name, about: about, fn: fn}
 }

@@ -1,10 +1,17 @@
 // Package workload defines the single entry point every kernel on the
 // simulated Cedar shares: a Workload runs against a core.Machine under
-// one Options struct and reports one Result. The package replaces the
-// divergent positional parameters the kernel entry points had grown
-// (`usePrefetch, probe bool` here, `mode Mode` there) and carries the
-// registry that lets drivers like cmd/cedarsim select workloads by name
-// instead of hard-coded switches.
+// one serializable Params set plus runtime Attachments, and reports one
+// Result. The package replaces the divergent positional parameters the
+// kernel entry points had grown (`usePrefetch, probe bool` here, `mode
+// Mode` there) and carries the registry that lets drivers like
+// cmd/cedarsim and cmd/cedard select workloads by name instead of
+// hard-coded switches.
+//
+// The Params/Attachments split is deliberate API design: Params is a
+// comparable value type holding exactly the inputs that determine a
+// run's outcome (so a job cache may key on it), while Attachments
+// carries the runtime-only observers — function and interface values
+// that must never leak into a cache key.
 package workload
 
 import (
@@ -48,17 +55,22 @@ func (m Mode) String() string {
 
 // PhaseObserver receives workload phase boundaries; it is structurally
 // identical to cedarfort.PhaseObserver (and telemetry.Sampler satisfies
-// it), so adapters can hand Options.Phases straight to the runtime
+// it), so adapters can hand Attachments.Phases straight to the runtime
 // without this package importing either.
 type PhaseObserver interface {
 	PhaseStart(name string)
 	PhaseEnd(name string)
 }
 
-// Options parameterizes a workload run. The zero value is a sensible
-// default everywhere: no prefetch, no probe, Table 1's GM/no-pref mode,
-// and kernel-chosen size and iteration count.
-type Options struct {
+// Params is the serializable parameter set of a workload run. The zero
+// value is a sensible default everywhere: no prefetch, no probe, Table
+// 1's GM/no-pref mode, and kernel-chosen size and iteration count.
+//
+// Params is comparable by construction (the compile-time guard below
+// enforces it), so no function or interface field can be added to it
+// and silently escape a result-cache key: anything runtime-only belongs
+// in Attachments.
+type Params struct {
 	// Mode selects the memory-system strategy for kernels with Table 1
 	// variants (Rank64); others ignore it.
 	Mode Mode
@@ -75,6 +87,51 @@ type Options struct {
 	// — matrix order, vector length, words per I/O step — is the
 	// kernel's); zero selects the kernel default.
 	Size int
+}
+
+// Params must stay usable as a map key: a field that breaks
+// comparability (func, slice, interface) is a field a cache cannot key
+// on, and belongs in Attachments instead.
+var _ = map[Params]struct{}{}
+
+// Validate rejects parameter values no kernel can run. Kernels divide
+// by and allocate from Size and Iterations, so negatives must die at
+// the API boundary — as a *ParamError, which drivers surface as a usage
+// error (cedarsim exit 2, cedard HTTP 400).
+func (p Params) Validate() error {
+	if p.Size < 0 {
+		return &ParamError{Field: "size", Value: p.Size, Reason: "cannot be negative (0 selects the kernel default)"}
+	}
+	if p.Iterations < 0 {
+		return &ParamError{Field: "iterations", Value: p.Iterations, Reason: "cannot be negative (0 selects the kernel default)"}
+	}
+	if p.Mode < GMNoPrefetch || p.Mode > GMCache {
+		return &ParamError{Field: "mode", Value: int(p.Mode), Reason: "unknown memory mode"}
+	}
+	return nil
+}
+
+// ParamError reports a workload parameter no kernel accepts. It is a
+// validation failure, not an execution failure: drivers map it to their
+// usage-error surface (exit status 2, HTTP 400).
+type ParamError struct {
+	// Field names the offending Params field in its serialized
+	// lower-case form.
+	Field string
+	// Value is the rejected value.
+	Value int
+	// Reason says what a legal value looks like.
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("workload: %s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Attachments carries the runtime-only observers of a workload run —
+// the non-serializable values deliberately kept out of Params so they
+// can never join a cache key. The zero value attaches nothing.
+type Attachments struct {
 	// Phases, when non-nil, observes workload phase boundaries (hand a
 	// telemetry.Sampler here to mark phase intervals).
 	Phases PhaseObserver
@@ -113,8 +170,9 @@ func (r Result) String() string {
 }
 
 // Workload is a runnable kernel: a name for the registry and a Run
-// driving a machine under the shared Options.
+// driving a machine under the shared Params, with runtime observers
+// passed separately.
 type Workload interface {
 	Name() string
-	Run(m *core.Machine, opts Options) (Result, error)
+	Run(m *core.Machine, p Params, att Attachments) (Result, error)
 }
